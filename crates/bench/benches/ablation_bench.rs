@@ -1,0 +1,53 @@
+//! Criterion bench: the ablation experiments and the workload generators
+//! (Tables 1, Figure 1, Section 2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::ablations;
+use workload::{ActivityModel, PopularityModel, SizeDistribution};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+    group.bench_function("domain_caching", |b| {
+        b.iter(|| black_box(ablations::domain_caching().saving_us))
+    });
+    group.bench_function("tagged_tlb", |b| {
+        b.iter(|| black_box(ablations::tagged_tlb().saving_us))
+    });
+    group.bench_function("noninterpreted_copy", |b| {
+        b.iter(|| black_box(ablations::noninterpreted_copy().interpreted_us))
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generators");
+    const N: usize = 100_000;
+    group.throughput(Throughput::Elements(N as u64));
+
+    let taos = ActivityModel::taos();
+    group.bench_function("activity_sample", |b| {
+        b.iter(|| black_box(taos.sample(1, N)))
+    });
+
+    let sizes = SizeDistribution::figure_1();
+    group.bench_function("size_sample", |b| b.iter(|| black_box(sizes.sample(1, N))));
+
+    let pop = PopularityModel::section_2_2();
+    group.bench_function("popularity_sample", |b| {
+        b.iter(|| black_box(pop.sample(1, N)))
+    });
+
+    group.bench_function("corpus_generate_and_measure", |b| {
+        b.iter(|| {
+            let corpus = workload::generate_corpus();
+            black_box(workload::measure(&corpus))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_workloads);
+criterion_main!(benches);

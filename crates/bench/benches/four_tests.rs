@@ -1,0 +1,60 @@
+//! Criterion bench: the four Table 4 tests across the three transports
+//! (LRPC/MP, serial LRPC, Taos SRC RPC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::common::{four_tests, LrpcEnv, MsgEnv};
+use msgrpc::MsgRpcCost;
+
+fn bench_four_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("four_tests");
+    group.sample_size(40);
+
+    let serial = LrpcEnv::new(1, false);
+    let taos = MsgEnv::new(MsgRpcCost::src_rpc_taos());
+
+    for (idx, (name, args)) in four_tests().into_iter().enumerate() {
+        // Assert the virtual latencies once (Table 4).
+        let paper_lrpc = [157.0, 164.38, 191.8, 226.6][idx];
+        let virt = serial.steady_latency(name, &args).as_micros_f64();
+        assert!(
+            (virt - paper_lrpc).abs() < 1.0,
+            "{name}: {virt} vs {paper_lrpc}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("lrpc", name), &args, |b, args| {
+            b.iter(|| {
+                black_box(
+                    serial
+                        .binding
+                        .call_unmetered(0, &serial.thread, idx, args)
+                        .expect("lrpc call")
+                        .elapsed,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("taos", name), &args, |b, args| {
+            b.iter(|| {
+                black_box(
+                    taos.system
+                        .call_indexed(
+                            &taos.client,
+                            &taos.thread,
+                            &taos.server,
+                            0,
+                            idx,
+                            args,
+                            false,
+                        )
+                        .expect("msg call")
+                        .elapsed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_four_tests);
+criterion_main!(benches);

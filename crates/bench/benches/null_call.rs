@@ -1,0 +1,99 @@
+//! Criterion bench: the Null cross-domain call (Tables 2, 4, 5).
+//!
+//! Two things are measured for every transport:
+//!
+//! * *virtual* latency (the calibrated simulated time, matching the
+//!   paper's microseconds) is asserted once at startup — this is the
+//!   number the paper comparison rests on, and
+//! * *wall-clock* cost of executing one call through the simulator, which
+//!   is what Criterion reports. Note that wall-clock time measures the
+//!   simulation itself (the LRPC path performs more simulated-hardware
+//!   work — protection checks, TLB touches — than the coarser message
+//!   model), so it is a regression guard for this codebase, not a
+//!   reproduction of the paper's ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::common::{LrpcEnv, MsgEnv};
+use msgrpc::MsgRpcCost;
+
+fn bench_null(c: &mut Criterion) {
+    let mut group = c.benchmark_group("null_call");
+    group.sample_size(60);
+
+    // Serial LRPC.
+    let lrpc = LrpcEnv::new(1, false);
+    let virt = lrpc.steady_latency("Null", &[]);
+    assert_eq!(
+        virt.as_micros_f64().round() as u64,
+        157,
+        "calibration drifted"
+    );
+    group.bench_function("lrpc_serial", |b| {
+        b.iter(|| {
+            let out = lrpc
+                .binding
+                .call_unmetered(0, &lrpc.thread, 0, &[])
+                .expect("call");
+            black_box(out.elapsed)
+        })
+    });
+
+    // LRPC with the idle-processor optimization: the CPUs exchange back
+    // and forth, so the bench tracks which CPU the thread ended on.
+    let mp = LrpcEnv::new(2, true);
+    mp.rt
+        .kernel()
+        .machine()
+        .cpu(1)
+        .set_idle_in(Some(mp.server.ctx().id()));
+    let warm = mp.binding.call(0, &mp.thread, "Null", &[]).expect("warmup");
+    assert!(warm.exchanged_on_call);
+    let cpu_cell = std::cell::Cell::new(warm.end_cpu);
+    group.bench_function("lrpc_mp", |b| {
+        b.iter(|| {
+            let out = mp
+                .binding
+                .call_unmetered(cpu_cell.get(), &mp.thread, 0, &[])
+                .expect("mp call");
+            cpu_cell.set(out.end_cpu);
+            black_box(out.elapsed)
+        })
+    });
+
+    // SRC RPC (Taos), the paper's baseline.
+    let src = MsgEnv::new(MsgRpcCost::src_rpc_taos());
+    let virt = src.steady_latency("Null", &[]);
+    assert_eq!(
+        virt.as_micros_f64().round() as u64,
+        464,
+        "calibration drifted"
+    );
+    group.bench_function("src_rpc", |b| {
+        b.iter(|| {
+            let out = src
+                .system
+                .call_indexed(&src.client, &src.thread, &src.server, 0, 0, &[], false)
+                .expect("call");
+            black_box(out.elapsed)
+        })
+    });
+
+    // The full-copy path (Mach-style).
+    let mach = MsgEnv::new(MsgRpcCost::mach_cvax());
+    group.bench_function("full_copy_msg", |b| {
+        b.iter(|| {
+            let out = mach
+                .system
+                .call_indexed(&mach.client, &mach.thread, &mach.server, 0, 0, &[], false)
+                .expect("call");
+            black_box(out.elapsed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_null);
+criterion_main!(benches);

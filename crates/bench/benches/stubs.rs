@@ -1,0 +1,113 @@
+//! Criterion bench: stub generation and stub execution (Section 3.3).
+//!
+//! Covers the compile-time pipeline (parse + compile) and the run-time
+//! stub VM in both languages — the assembly fast path and the 4×
+//! Modula2+ marshaling path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use firefly::cpu::Machine;
+use firefly::meter::Meter;
+use idl::stubgen::compile;
+use idl::stubvm::{LocalFrame, OobStore, StubVm};
+use idl::wire::Value;
+
+const BIG_IDL: &str = r#"
+    interface FileServer {
+        procedure Open(path: in var bytes[256]) -> int32;
+        procedure Close(handle: int32);
+        [astacks = 8]
+        procedure Write(handle: int32, data: in bytes[1024] noninterpreted) -> int32;
+        procedure Read(handle: int32, count: int32, data: out bytes[1024]) -> int32;
+        procedure Stat(path: var bytes[256]) -> record { size: int32, mtime: int32, mode: int16 };
+        procedure Walk(t: tree);
+    }
+"#;
+
+fn bench_stubgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stub_generation");
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(idl::parse(BIG_IDL).unwrap()))
+    });
+    let def = idl::parse(BIG_IDL).unwrap();
+    group.bench_function("compile", |b| b.iter(|| black_box(compile(&def))));
+    group.finish();
+}
+
+fn bench_stubvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stub_execution");
+    let machine = Machine::cvax_uniprocessor();
+
+    // Assembly path: 100 fixed bytes.
+    let fast = compile(&idl::parse("interface F { procedure P(d: bytes[100]); }").unwrap());
+    let fast_proc = &fast.procs[0];
+    let fast_args = [Value::Bytes(vec![7; 100])];
+    group.bench_function("assembly_push_100B", |b| {
+        b.iter(|| {
+            let mut meter = Meter::disabled();
+            let mut frame = LocalFrame::new(fast_proc.layout.astack_size);
+            let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+            vm.client_push_args(fast_proc, &fast_args, &mut frame, &mut OobStore::new())
+                .expect("push");
+            black_box(frame)
+        })
+    });
+
+    // Modula2+ path: the same bytes as a gc blob.
+    let slow = compile(&idl::parse("interface S { procedure P(d: gc); }").unwrap());
+    let slow_proc = &slow.procs[0];
+    let slow_args = [Value::Gc(vec![7; 100])];
+    group.bench_function("modula2_marshal_100B", |b| {
+        b.iter(|| {
+            let mut meter = Meter::disabled();
+            let mut frame = LocalFrame::new(slow_proc.layout.astack_size);
+            let mut oob = OobStore::new();
+            let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+            vm.client_push_args(slow_proc, &slow_args, &mut frame, &mut oob)
+                .expect("marshal");
+            black_box(oob)
+        })
+    });
+
+    // Full round trip: push, server read, place result, fetch.
+    let add = compile(
+        &idl::parse("interface A { procedure Add(a: int32, b: int32) -> int32; }").unwrap(),
+    );
+    let add_proc = &add.procs[0];
+    group.bench_function("add_roundtrip", |b| {
+        b.iter(|| {
+            let mut meter = Meter::disabled();
+            let mut frame = LocalFrame::new(add_proc.layout.astack_size);
+            let mut oob = OobStore::new();
+            let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+            vm.client_push_args(
+                add_proc,
+                &[Value::Int32(1), Value::Int32(2)],
+                &mut frame,
+                &mut oob,
+            )
+            .expect("push");
+            let args = vm.server_read_args(add_proc, &frame, &oob).expect("read");
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                unreachable!()
+            };
+            vm.server_place_results(
+                add_proc,
+                Some(&Value::Int32(a + b)),
+                &[],
+                &mut frame,
+                &mut oob,
+            )
+            .expect("place");
+            black_box(
+                vm.client_fetch_results(add_proc, &frame, &oob)
+                    .expect("fetch"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stubgen, bench_stubvm);
+criterion_main!(benches);

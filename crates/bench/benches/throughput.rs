@@ -1,0 +1,110 @@
+//! Criterion bench: multiprocessor call throughput (Figure 2).
+//!
+//! Benchmarks the deterministic contention simulation at 1–4 CPUs (the
+//! numbers it produces are checked against the paper in the experiment
+//! suite) and, separately, the *real* concurrent behaviour: four host
+//! threads calling one server through LRPC versus through the
+//! global-locked SRC path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bench::common::{LrpcEnv, MsgEnv};
+use bench::experiments;
+use firefly::contention::simulate_throughput;
+use firefly::time::Nanos;
+use msgrpc::MsgRpcCost;
+
+fn bench_contention_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_simulation");
+    group.sample_size(30);
+    // The experiment itself (all series, all CPU counts).
+    group.bench_function("full_figure2", |b| {
+        b.iter(|| black_box(experiments::figure2().speedup_4))
+    });
+    // One simulated second at 4 CPUs.
+    let cost = firefly::cost::CostModel::cvax_firefly();
+    let profiles: Vec<_> = (0..4)
+        .map(|i| {
+            use firefly::contention::{CallProfile, ResourceId, Seg};
+            let total = cost.lrpc_null_serial();
+            let bus = cost.bus_time_null_call;
+            let q = cost.astack_queue_op;
+            let compute = total - bus - q * 2;
+            CallProfile::new(vec![
+                Seg::Use {
+                    res: ResourceId(1 + i),
+                    hold: q,
+                },
+                Seg::Compute(compute / 2),
+                Seg::Use {
+                    res: ResourceId(0),
+                    hold: bus,
+                },
+                Seg::Compute(compute - compute / 2),
+                Seg::Use {
+                    res: ResourceId(1 + i),
+                    hold: q,
+                },
+            ])
+        })
+        .collect();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("simulate_1s_4cpu", |b| {
+        b.iter(|| black_box(simulate_throughput(&profiles, 5, Nanos::from_secs(1)).total_calls()))
+    });
+    group.finish();
+}
+
+fn bench_real_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_concurrency");
+    group.sample_size(20);
+    const CALLS_PER_THREAD: usize = 200;
+    group.throughput(Throughput::Elements((4 * CALLS_PER_THREAD) as u64));
+
+    // Four host threads through LRPC (per-binding A-stack queues only).
+    let env = Arc::new(LrpcEnv::new(4, false));
+    group.bench_function(BenchmarkId::new("lrpc", "4threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for cpu in 0..4 {
+                    let env = Arc::clone(&env);
+                    s.spawn(move || {
+                        let thread = env.rt.kernel().spawn_thread(&env.client);
+                        for _ in 0..CALLS_PER_THREAD {
+                            env.binding
+                                .call_unmetered(cpu, &thread, 0, &[])
+                                .expect("concurrent lrpc");
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    // Four host threads through the SRC path: the global parking_lot
+    // mutex serializes the transfer section for real.
+    let src = Arc::new(MsgEnv::new(MsgRpcCost::src_rpc_taos()));
+    group.bench_function(BenchmarkId::new("src_rpc", "4threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let src = Arc::clone(&src);
+                    s.spawn(move || {
+                        let thread = src.system.kernel().spawn_thread(&src.client);
+                        for _ in 0..CALLS_PER_THREAD {
+                            src.system
+                                .call_indexed(&src.client, &thread, &src.server, 0, 0, &[], false)
+                                .expect("concurrent src");
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention_sim, bench_real_concurrency);
+criterion_main!(benches);

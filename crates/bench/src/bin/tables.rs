@@ -1,0 +1,99 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --bin tables            # everything
+//! cargo run -p bench --bin tables -- table4  # one experiment
+//! ```
+//!
+//! Experiments: `table1`, `figure1`, `sec22`, `table2`, `table3`,
+//! `table4`, `table5`, `figure2`, `stubs`, `locking`, `ablations`.
+
+use bench::ablations;
+use bench::experiments as exp;
+
+fn run_fmt(name: &str, csv: bool) -> Option<String> {
+    if csv {
+        let out = match name {
+            "figure1" => exp::render_figure1_csv(&exp::figure1()),
+            "figure2" => exp::render_figure2_csv(&exp::figure2()),
+            "registers" => exp::render_registers_csv(&exp::registers()),
+            "sensitivity" => exp::render_sensitivity_csv(&exp::sensitivity()),
+            _ => return None,
+        };
+        return Some(out);
+    }
+    let out = match name {
+        "table1" => exp::render_table1(&exp::table1()),
+        "figure1" => exp::render_figure1(&exp::figure1()),
+        "sec22" => exp::render_sec22(&exp::sec22()),
+        "table2" => exp::render_table2(&exp::table2()),
+        "table3" => exp::render_table3(&exp::table3()),
+        "table4" => exp::render_table4(&exp::table4()),
+        "table5" => exp::render_table5(&exp::table5()),
+        "figure2" => exp::render_figure2(&exp::figure2()),
+        "stubs" => exp::render_stubs(&exp::stubs()),
+        "locking" => exp::render_locking(&exp::locking()),
+        "registers" => exp::render_registers(&exp::registers()),
+        "replay" => exp::render_replay(&exp::replay(2_000)),
+        "blended" => exp::render_blended(&exp::blended(2_000)),
+        "coalescing" => exp::render_coalescing(&exp::coalescing()),
+        "sensitivity" => exp::render_sensitivity(&exp::sensitivity()),
+        "ablations" => ablations::all(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "figure1",
+    "sec22",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure2",
+    "stubs",
+    "locking",
+    "registers",
+    "replay",
+    "blended",
+    "coalescing",
+    "sensitivity",
+    "ablations",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    if !csv {
+        println!("Lightweight Remote Procedure Call (SOSP 1989) — reproduction report");
+        println!("====================================================================\n");
+    }
+    let mut failed = false;
+    for name in &selected {
+        match run_fmt(name, csv) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                if csv {
+                    eprintln!("experiment `{name}` has no CSV form (figure1, figure2, registers, sensitivity do)");
+                } else {
+                    eprintln!("unknown experiment `{name}`; known: {}", ALL.join(", "));
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

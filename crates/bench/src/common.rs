@@ -1,0 +1,242 @@
+//! Shared experiment scaffolding: benchmark environments and helpers.
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use firefly::time::Nanos;
+use firefly::tlb::TlbMode;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use kernel::thread::Thread;
+use kernel::Domain;
+use lrpc::{
+    Binding, CallError, CallOutcome, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx,
+};
+use msgrpc::{MsgHandler, MsgRpcCost, MsgRpcSystem, MsgServer};
+
+/// The four Table 4 test procedures.
+pub const BENCH_IDL: &str = r#"
+    interface Bench {
+        procedure Null();
+        procedure Add(a: int32, b: int32) -> int32;
+        procedure BigIn(data: in bytes[200] noninterpreted);
+        procedure BigInOut(data: inout bytes[200] noninterpreted);
+    }
+"#;
+
+/// The names and argument builders of the four tests.
+pub fn four_tests() -> Vec<(&'static str, Vec<Value>)> {
+    vec![
+        ("Null", vec![]),
+        ("Add", vec![Value::Int32(2), Value::Int32(3)]),
+        ("BigIn", vec![Value::Bytes(vec![0xAB; 200])]),
+        ("BigInOut", vec![Value::Bytes(vec![0xAB; 200])]),
+    ]
+}
+
+/// Handlers for [`BENCH_IDL`].
+pub fn lrpc_bench_handlers() -> Vec<Handler> {
+    vec![
+        Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())),
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                return Err(CallError::ServerFault("bad types".into()));
+            };
+            Ok(Reply::value(Value::Int32(a + b)))
+        }),
+        Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())),
+        Box::new(|_: &ServerCtx, args: &[Value]| Ok(Reply::none().with_out(0, args[0].clone()))),
+    ]
+}
+
+/// Message-RPC handlers for [`BENCH_IDL`].
+pub fn msg_bench_handlers() -> Vec<MsgHandler> {
+    vec![
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                return Err(CallError::ServerFault("bad types".into()));
+            };
+            Ok(Reply::value(Value::Int32(a + b)))
+        }),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|args: &[Value]| Ok(Reply::none().with_out(0, args[0].clone()))),
+    ]
+}
+
+/// A ready-to-call LRPC environment.
+pub struct LrpcEnv {
+    /// The runtime.
+    pub rt: Arc<LrpcRuntime>,
+    /// Client domain.
+    pub client: Arc<Domain>,
+    /// Server domain.
+    pub server: Arc<Domain>,
+    /// Calling thread.
+    pub thread: Arc<Thread>,
+    /// The bench binding.
+    pub binding: Binding,
+}
+
+impl LrpcEnv {
+    /// Builds an environment on an `n_cpus` C-VAX Firefly.
+    pub fn new(n_cpus: usize, domain_caching: bool) -> LrpcEnv {
+        LrpcEnv::with_machine(
+            Machine::new(n_cpus, CostModel::cvax_firefly()),
+            domain_caching,
+        )
+    }
+
+    /// Builds an environment on an explicit machine.
+    pub fn with_machine(machine: Arc<Machine>, domain_caching: bool) -> LrpcEnv {
+        let kernel = Kernel::new(machine);
+        let rt = LrpcRuntime::with_config(
+            kernel,
+            RuntimeConfig {
+                domain_caching,
+                ..RuntimeConfig::default()
+            },
+        );
+        let server = rt.kernel().create_domain("bench-server");
+        rt.export(&server, BENCH_IDL, lrpc_bench_handlers())
+            .expect("export");
+        let client = rt.kernel().create_domain("bench-client");
+        let thread = rt.kernel().spawn_thread(&client);
+        let binding = rt.import(&client, "Bench").expect("import");
+        LrpcEnv {
+            rt,
+            client,
+            server,
+            thread,
+            binding,
+        }
+    }
+
+    /// Builds a tagged-TLB environment (the Section 3.4 ablation).
+    pub fn tagged_tlb(n_cpus: usize) -> LrpcEnv {
+        LrpcEnv::with_machine(
+            Machine::with_tlb_mode(n_cpus, CostModel::cvax_firefly(), TlbMode::Tagged),
+            false,
+        )
+    }
+
+    /// Steady-state metered call (one warmup first).
+    pub fn steady_call(&self, proc: &str, args: &[Value]) -> CallOutcome {
+        self.binding
+            .call(0, &self.thread, proc, args)
+            .expect("warmup");
+        self.binding
+            .call(0, &self.thread, proc, args)
+            .expect("measured")
+    }
+
+    /// Steady-state latency.
+    pub fn steady_latency(&self, proc: &str, args: &[Value]) -> Nanos {
+        self.steady_call(proc, args).elapsed
+    }
+
+    /// Steady-state latency with the idle-processor optimization hitting
+    /// on both transfers (requires `n_cpus >= 2` and `domain_caching`).
+    pub fn steady_latency_mp(&self, proc: &str, args: &[Value]) -> Nanos {
+        self.rt
+            .kernel()
+            .machine()
+            .cpu(1)
+            .set_idle_in(Some(self.server.ctx().id()));
+        let w = self
+            .binding
+            .call(0, &self.thread, proc, args)
+            .expect("warmup");
+        let out = self
+            .binding
+            .call(w.end_cpu, &self.thread, proc, args)
+            .expect("measured");
+        assert!(
+            out.exchanged_on_call && out.exchanged_on_return,
+            "MP measurement requires both exchanges to hit"
+        );
+        out.elapsed
+    }
+}
+
+/// A ready-to-call message-RPC environment.
+pub struct MsgEnv {
+    /// The system.
+    pub system: Arc<MsgRpcSystem>,
+    /// Client domain.
+    pub client: Arc<Domain>,
+    /// Calling thread.
+    pub thread: Arc<Thread>,
+    /// The bench server.
+    pub server: Arc<MsgServer>,
+}
+
+impl MsgEnv {
+    /// Builds an environment for one Table 2 system model.
+    pub fn new(cost: MsgRpcCost) -> MsgEnv {
+        let machine = Machine::new(1, CostModel::with_hw(cost.hw));
+        let kernel = Kernel::new(machine);
+        let system = MsgRpcSystem::new(kernel, cost);
+        let server_domain = system.kernel().create_domain("msg-server");
+        let server = system
+            .export(&server_domain, BENCH_IDL, msg_bench_handlers(), 2)
+            .unwrap();
+        let client = system.kernel().create_domain("msg-client");
+        let thread = system.kernel().spawn_thread(&client);
+        MsgEnv {
+            system,
+            client,
+            thread,
+            server,
+        }
+    }
+
+    /// Steady-state metered call.
+    pub fn steady_call(&self, proc: &str, args: &[Value]) -> msgrpc::MsgCallOutcome {
+        self.system
+            .call(&self.client, &self.thread, &self.server, 0, proc, args)
+            .expect("warmup");
+        self.system
+            .call(&self.client, &self.thread, &self.server, 0, proc, args)
+            .expect("measured")
+    }
+
+    /// Steady-state latency.
+    pub fn steady_latency(&self, proc: &str, args: &[Value]) -> Nanos {
+        self.steady_call(proc, args).elapsed
+    }
+}
+
+/// Formats a simple aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Experiment harness for the LRPC reproduction.
+//!
+//! One function per table and figure of the paper, each running the
+//! functional reproduction and comparing measured values against the
+//! published ones. The `tables` binary prints every report; the Criterion
+//! benches in `benches/` additionally measure the real (wall-clock)
+//! behaviour of the Rust implementation.
+
+pub mod ablations;
+pub mod common;
+pub mod experiments;

@@ -1,0 +1,443 @@
+//! Simulated processors and the machine that hosts them.
+//!
+//! Each [`Cpu`] carries a virtual clock (nanoseconds since power-on), a TLB
+//! and the id of the virtual-memory context currently loaded in its mapping
+//! registers. A CPU may also be *idling in a domain's context* — the state
+//! the idle-processor optimization of Section 3.4 looks for: "When a call
+//! is made, the kernel checks for a processor idling in the context of the
+//! server domain."
+//!
+//! The [`Machine`] owns the CPUs, the physical memory, the VM contexts and
+//! the cost model, and provides the protection-checked, TLB-touching memory
+//! access path used by all higher layers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::error::MemFault;
+use crate::mem::{PhysMem, Region};
+use crate::meter::{Meter, Phase};
+use crate::time::Nanos;
+use crate::tlb::{Tlb, TlbMode};
+use crate::vm::{ContextId, VmContext};
+
+/// One simulated processor.
+pub struct Cpu {
+    id: usize,
+    vclock: AtomicU64,
+    tlb: Mutex<Tlb>,
+    current_ctx: AtomicU64,
+    /// `Some(ctx)` while the CPU spins idle with `ctx` loaded, waiting to
+    /// be claimed by a call into that domain.
+    idle_in: Mutex<Option<ContextId>>,
+}
+
+impl Cpu {
+    fn new(id: usize, tlb_mode: TlbMode) -> Cpu {
+        Cpu {
+            id,
+            vclock: AtomicU64::new(0),
+            tlb: Mutex::new(Tlb::new(tlb_mode, 256)),
+            current_ctx: AtomicU64::new(ContextId::KERNEL.0),
+            idle_in: Mutex::new(None),
+        }
+    }
+
+    /// The CPU's index within the machine.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current virtual time on this CPU.
+    pub fn now(&self) -> Nanos {
+        Nanos::from_nanos(self.vclock.load(Ordering::Acquire))
+    }
+
+    /// Advances the virtual clock by `dur`.
+    pub fn charge(&self, dur: Nanos) {
+        self.vclock.fetch_add(dur.as_nanos(), Ordering::AcqRel);
+    }
+
+    /// Advances the virtual clock to at least `t` (used when a thread
+    /// migrates to this CPU or waits for a resource freed at `t`).
+    pub fn advance_to(&self, t: Nanos) {
+        self.vclock.fetch_max(t.as_nanos(), Ordering::AcqRel);
+    }
+
+    /// Resets the clock to zero (between experiments).
+    pub fn reset_clock(&self) {
+        self.vclock.store(0, Ordering::Release);
+    }
+
+    /// The context currently loaded in the mapping registers.
+    pub fn current_context(&self) -> ContextId {
+        ContextId(self.current_ctx.load(Ordering::Acquire))
+    }
+
+    /// Loads `ctx` into the mapping registers, charging one context-switch
+    /// cost and invalidating the TLB (unless tagged).
+    ///
+    /// A switch to the already-loaded context is free — the kernel checks
+    /// before reloading.
+    pub fn switch_context(&self, ctx: ContextId, cost: &CostModel, meter: &mut Meter) {
+        if self.current_context() == ctx {
+            return;
+        }
+        self.charge(cost.hw.context_switch);
+        meter.record(Phase::ContextSwitch, cost.hw.context_switch);
+        self.tlb.lock().on_context_switch();
+        self.current_ctx.store(ctx.0, Ordering::Release);
+    }
+
+    /// Loads `ctx` without charging (processor-exchange path: the context
+    /// is already loaded on the CPU being claimed; this is used to restore
+    /// bookkeeping, not to model a hardware reload).
+    pub fn set_context_free(&self, ctx: ContextId) {
+        self.current_ctx.store(ctx.0, Ordering::Release);
+    }
+
+    /// Touches pages through the TLB in the current context; returns the
+    /// number of misses and reports them to the meter.
+    pub fn touch_pages(
+        &self,
+        pages: impl IntoIterator<Item = crate::mem::PageId>,
+        meter: &mut Meter,
+    ) -> u64 {
+        let ctx = self.current_context();
+        let mut tlb = self.tlb.lock();
+        let mut misses = 0;
+        for p in pages {
+            if tlb.touch(ctx, p) {
+                misses += 1;
+            }
+        }
+        drop(tlb);
+        meter.add_tlb_misses(misses);
+        misses
+    }
+
+    /// Marks the CPU as idling in `ctx` (or not idling, with `None`).
+    pub fn set_idle_in(&self, ctx: Option<ContextId>) {
+        *self.idle_in.lock() = ctx;
+        if let Some(c) = ctx {
+            self.current_ctx.store(c.0, Ordering::Release);
+        }
+    }
+
+    /// The context the CPU is idling in, if any.
+    pub fn idle_in(&self) -> Option<ContextId> {
+        *self.idle_in.lock()
+    }
+
+    /// Atomically claims this CPU if it is idling in `ctx`; on success the
+    /// CPU stops idling and `true` is returned.
+    pub fn try_claim_idle(&self, ctx: ContextId) -> bool {
+        let mut idle = self.idle_in.lock();
+        if *idle == Some(ctx) {
+            *idle = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Lifetime TLB miss count for this CPU.
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb.lock().misses()
+    }
+
+    /// Resets the CPU's TLB statistics.
+    pub fn reset_tlb_stats(&self) {
+        self.tlb.lock().reset_stats();
+    }
+}
+
+impl core::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("id", &self.id)
+            .field("now", &self.now())
+            .field("ctx", &self.current_context())
+            .finish()
+    }
+}
+
+/// The simulated multiprocessor.
+pub struct Machine {
+    cost: CostModel,
+    tlb_mode: TlbMode,
+    cpus: Vec<Cpu>,
+    mem: PhysMem,
+    next_ctx: AtomicU64,
+    contexts: Mutex<HashMap<ContextId, Arc<VmContext>>>,
+}
+
+impl Machine {
+    /// Builds a machine with `n_cpus` processors, an untagged
+    /// (invalidate-on-switch) TLB and the given cost model.
+    pub fn new(n_cpus: usize, cost: CostModel) -> Arc<Machine> {
+        Machine::with_tlb_mode(n_cpus, cost, TlbMode::InvalidateOnSwitch)
+    }
+
+    /// Builds a machine with an explicit TLB mode (the tagged mode is used
+    /// by the Section 3.4 ablation).
+    pub fn with_tlb_mode(n_cpus: usize, cost: CostModel, tlb_mode: TlbMode) -> Arc<Machine> {
+        let n = n_cpus.max(1);
+        let kernel_ctx = Arc::new(VmContext::new(ContextId::KERNEL));
+        let mut contexts = HashMap::new();
+        contexts.insert(ContextId::KERNEL, kernel_ctx);
+        Arc::new(Machine {
+            cost,
+            tlb_mode,
+            cpus: (0..n).map(|i| Cpu::new(i, tlb_mode)).collect(),
+            mem: PhysMem::new(),
+            next_ctx: AtomicU64::new(1),
+            contexts: Mutex::new(contexts),
+        })
+    }
+
+    /// A convenient single-CPU C-VAX Firefly.
+    pub fn cvax_uniprocessor() -> Arc<Machine> {
+        Machine::new(1, CostModel::cvax_firefly())
+    }
+
+    /// The four-CPU C-VAX Firefly used throughout the paper's Section 4.
+    pub fn cvax_firefly() -> Arc<Machine> {
+        Machine::new(4, CostModel::cvax_firefly())
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The TLB mode the machine was built with.
+    pub fn tlb_mode(&self) -> TlbMode {
+        self.tlb_mode
+    }
+
+    /// Number of processors.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// One processor by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_cpus()`; CPU indices come from the machine
+    /// itself, so an out-of-range index is a caller bug.
+    pub fn cpu(&self, i: usize) -> &Cpu {
+        &self.cpus[i]
+    }
+
+    /// All processors.
+    pub fn cpus(&self) -> &[Cpu] {
+        &self.cpus
+    }
+
+    /// The physical memory.
+    pub fn mem(&self) -> &PhysMem {
+        &self.mem
+    }
+
+    /// Creates a fresh, empty VM context (one per protection domain).
+    pub fn create_context(&self) -> Arc<VmContext> {
+        let id = ContextId(self.next_ctx.fetch_add(1, Ordering::Relaxed));
+        let ctx = Arc::new(VmContext::new(id));
+        self.contexts.lock().insert(id, Arc::clone(&ctx));
+        ctx
+    }
+
+    /// Looks up a context by id.
+    pub fn context(&self, id: ContextId) -> Option<Arc<VmContext>> {
+        self.contexts.lock().get(&id).cloned()
+    }
+
+    /// Destroys a context (domain termination).
+    pub fn destroy_context(&self, id: ContextId) {
+        if id != ContextId::KERNEL {
+            self.contexts.lock().remove(&id);
+        }
+    }
+
+    /// Protection-checked write of `data` into `region` at `offset` by code
+    /// running on `cpu` in `ctx`.
+    ///
+    /// Touches the covered pages through the CPU's TLB. Byte-copy *time* is
+    /// charged by the caller's copy engine, not here, so that transports
+    /// can attribute it to the right phase.
+    #[expect(clippy::too_many_arguments)]
+    pub fn write_mem(
+        &self,
+        cpu: &Cpu,
+        ctx: &VmContext,
+        region: &Region,
+        offset: usize,
+        data: &[u8],
+        kernel_mode: bool,
+        meter: &mut Meter,
+    ) -> Result<(), MemFault> {
+        ctx.check(region.id(), true, kernel_mode)?;
+        cpu.touch_pages(region.pages_for(offset, data.len()), meter);
+        region.write_raw(offset, data)
+    }
+
+    /// Protection-checked read; see [`Machine::write_mem`].
+    #[expect(clippy::too_many_arguments)]
+    pub fn read_mem(
+        &self,
+        cpu: &Cpu,
+        ctx: &VmContext,
+        region: &Region,
+        offset: usize,
+        buf: &mut [u8],
+        kernel_mode: bool,
+        meter: &mut Meter,
+    ) -> Result<(), MemFault> {
+        ctx.check(region.id(), false, kernel_mode)?;
+        cpu.touch_pages(region.pages_for(offset, buf.len()), meter);
+        region.read_raw(offset, buf)
+    }
+
+    /// Finds and claims a CPU idling in `ctx`, if any (the idle-processor
+    /// optimization's probe). Returns the claimed CPU's index.
+    pub fn claim_idle_cpu_in(&self, ctx: ContextId) -> Option<usize> {
+        self.cpus
+            .iter()
+            .find(|c| c.try_claim_idle(ctx))
+            .map(|c| c.id())
+    }
+
+    /// Resets all CPU clocks and TLB statistics (between experiments).
+    pub fn reset_clocks(&self) {
+        for c in &self.cpus {
+            c.reset_clock();
+            c.reset_tlb_stats();
+        }
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cost", &self.cost.name)
+            .field("cpus", &self.cpus.len())
+            .field("regions", &self.mem.region_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Protection;
+
+    #[test]
+    fn clock_charges_accumulate() {
+        let m = Machine::cvax_uniprocessor();
+        let cpu = m.cpu(0);
+        cpu.charge(Nanos::from_micros(18));
+        cpu.charge(Nanos::from_micros(33));
+        assert_eq!(cpu.now(), Nanos::from_micros(51));
+        cpu.advance_to(Nanos::from_micros(40));
+        assert_eq!(
+            cpu.now(),
+            Nanos::from_micros(51),
+            "advance_to never goes backwards"
+        );
+        cpu.advance_to(Nanos::from_micros(60));
+        assert_eq!(cpu.now(), Nanos::from_micros(60));
+    }
+
+    #[test]
+    fn context_switch_charges_and_invalidates() {
+        let m = Machine::cvax_uniprocessor();
+        let cpu = m.cpu(0);
+        let ctx = m.create_context();
+        let mut meter = Meter::enabled();
+        cpu.switch_context(ctx.id(), m.cost(), &mut meter);
+        assert_eq!(cpu.now(), m.cost().hw.context_switch);
+        assert_eq!(
+            meter.total_for(Phase::ContextSwitch),
+            m.cost().hw.context_switch
+        );
+        // Switching to the same context is free.
+        cpu.switch_context(ctx.id(), m.cost(), &mut meter);
+        assert_eq!(cpu.now(), m.cost().hw.context_switch);
+    }
+
+    #[test]
+    fn checked_memory_access_respects_protection() {
+        let m = Machine::cvax_uniprocessor();
+        let cpu = m.cpu(0);
+        let client = m.create_context();
+        let third_party = m.create_context();
+        let region = m.mem().alloc("astack", 256);
+        client.map(region.id(), Protection::ReadWrite);
+
+        let mut meter = Meter::disabled();
+        m.write_mem(cpu, &client, &region, 0, &[1, 2, 3], false, &mut meter)
+            .expect("client may write its A-stack");
+        let mut buf = [0u8; 3];
+        let err = m
+            .read_mem(cpu, &third_party, &region, 0, &mut buf, false, &mut meter)
+            .unwrap_err();
+        assert!(matches!(err, MemFault::NotMapped { .. }));
+        // The kernel may access anything.
+        m.read_mem(cpu, &third_party, &region, 0, &mut buf, true, &mut meter)
+            .expect("kernel mode bypasses protection");
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_access_counts_tlb_misses() {
+        let m = Machine::cvax_uniprocessor();
+        let cpu = m.cpu(0);
+        let ctx = m.create_context();
+        let region = m.mem().alloc("buf", crate::mem::PAGE_SIZE * 4);
+        ctx.map(region.id(), Protection::ReadWrite);
+        let mut meter = Meter::enabled();
+        let data = vec![0u8; crate::mem::PAGE_SIZE * 2];
+        m.write_mem(cpu, &ctx, &region, 0, &data, false, &mut meter)
+            .unwrap();
+        assert_eq!(meter.tlb_misses(), 2);
+        // A second access to the same pages hits.
+        m.write_mem(cpu, &ctx, &region, 0, &data, false, &mut meter)
+            .unwrap();
+        assert_eq!(meter.tlb_misses(), 2);
+    }
+
+    #[test]
+    fn idle_claim_is_atomic_and_single_shot() {
+        let m = Machine::cvax_firefly();
+        let ctx = m.create_context();
+        m.cpu(2).set_idle_in(Some(ctx.id()));
+        assert_eq!(m.claim_idle_cpu_in(ctx.id()), Some(2));
+        assert_eq!(
+            m.claim_idle_cpu_in(ctx.id()),
+            None,
+            "a claimed CPU is no longer idle"
+        );
+    }
+
+    #[test]
+    fn concurrent_charges_do_not_lose_time() {
+        let m = Machine::cvax_firefly();
+        let cpu = m.cpu(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        cpu.charge(Nanos::from_nanos(7));
+                    }
+                });
+            }
+        });
+        assert_eq!(cpu.now(), Nanos::from_nanos(4 * 1000 * 7));
+    }
+}

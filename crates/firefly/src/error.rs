@@ -1,0 +1,68 @@
+//! Fault types raised by the simulated hardware.
+
+use core::fmt;
+
+use crate::mem::RegionId;
+use crate::vm::ContextId;
+
+/// A memory-access fault detected by the simulated MMU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemFault {
+    /// The region is not mapped into the accessing context at all.
+    NotMapped {
+        /// Context that attempted the access.
+        ctx: ContextId,
+        /// Region that was not mapped.
+        region: RegionId,
+    },
+    /// The region is mapped, but not with the required rights.
+    ProtectionViolation {
+        /// Context that attempted the access.
+        ctx: ContextId,
+        /// Region that was accessed.
+        region: RegionId,
+        /// True if the faulting access was a write.
+        write: bool,
+    },
+    /// The access fell outside the region's bounds.
+    OutOfRange {
+        /// Region that was accessed.
+        region: RegionId,
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+    },
+    /// The region id does not name a live region.
+    NoSuchRegion {
+        /// The dangling id.
+        region: RegionId,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::NotMapped { ctx, region } => {
+                write!(f, "{region:?} is not mapped in {ctx:?}")
+            }
+            MemFault::ProtectionViolation { ctx, region, write } => {
+                let kind = if *write { "write" } else { "read" };
+                write!(f, "{kind} access to {region:?} denied in {ctx:?}")
+            }
+            MemFault::OutOfRange {
+                region,
+                offset,
+                len,
+            } => {
+                write!(
+                    f,
+                    "access [{offset}, {offset}+{len}) out of range of {region:?}"
+                )
+            }
+            MemFault::NoSuchRegion { region } => write!(f, "{region:?} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}

@@ -1,0 +1,276 @@
+//! Simulated physical memory.
+//!
+//! Memory is modeled as a set of named *regions* — contiguous byte ranges
+//! allocated by the kernel and mapped into zero or more virtual-memory
+//! contexts (see [`crate::vm`]). The byte contents are real (`Vec<u8>`
+//! behind a lock), so data transfer through A-stacks and message buffers is
+//! functional, not just accounted for.
+//!
+//! Pages are 512 bytes, matching the VAX architecture of the C-VAX Firefly;
+//! page identities feed the per-CPU TLB model.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::MemFault;
+
+/// The VAX page size in bytes.
+pub const PAGE_SIZE: usize = 512;
+
+/// Identifier of a physical memory region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+/// Identity of one page of one region, as seen by the TLB.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The page covering byte `offset` of region `region`.
+    pub fn of(region: RegionId, offset: usize) -> PageId {
+        PageId(region.0 << 20 | (offset / PAGE_SIZE) as u64)
+    }
+}
+
+/// A contiguous region of simulated physical memory.
+pub struct Region {
+    id: RegionId,
+    label: String,
+    len: usize,
+    bytes: RwLock<Vec<u8>>,
+}
+
+impl Region {
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The diagnostic label given at allocation time.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The region's length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages spanned by the region.
+    pub fn page_count(&self) -> usize {
+        self.len.div_ceil(PAGE_SIZE)
+    }
+
+    /// The pages covering the byte range `offset..offset + len`.
+    ///
+    /// Returns an empty iterator for a zero-length range.
+    pub fn pages_for(&self, offset: usize, len: usize) -> impl Iterator<Item = PageId> + '_ {
+        let first = offset / PAGE_SIZE;
+        let last = if len == 0 {
+            first // Empty range: yield nothing via the range below.
+        } else {
+            (offset + len - 1) / PAGE_SIZE + 1
+        };
+        let id = self.id;
+        (first..last).map(move |p| PageId(id.0 << 20 | p as u64))
+    }
+
+    /// Copies `data` into the region at `offset`, without any protection
+    /// check (the check belongs to [`crate::cpu::Machine`], which knows
+    /// the accessing context).
+    ///
+    /// Fails with [`MemFault::OutOfRange`] if the write would exceed the
+    /// region.
+    pub fn write_raw(&self, offset: usize, data: &[u8]) -> Result<(), MemFault> {
+        let end = offset.checked_add(data.len()).ok_or(MemFault::OutOfRange {
+            region: self.id,
+            offset,
+            len: data.len(),
+        })?;
+        if end > self.len {
+            return Err(MemFault::OutOfRange {
+                region: self.id,
+                offset,
+                len: data.len(),
+            });
+        }
+        let mut bytes = self.bytes.write();
+        bytes[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies `buf.len()` bytes out of the region at `offset` into `buf`,
+    /// without any protection check.
+    pub fn read_raw(&self, offset: usize, buf: &mut [u8]) -> Result<(), MemFault> {
+        let end = offset.checked_add(buf.len()).ok_or(MemFault::OutOfRange {
+            region: self.id,
+            offset,
+            len: buf.len(),
+        })?;
+        if end > self.len {
+            return Err(MemFault::OutOfRange {
+                region: self.id,
+                offset,
+                len: buf.len(),
+            });
+        }
+        let bytes = self.bytes.read();
+        buf.copy_from_slice(&bytes[offset..end]);
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: usize, len: usize) -> Result<Vec<u8>, MemFault> {
+        let mut buf = vec![0u8; len];
+        self.read_raw(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Fills the whole region with `byte`.
+    pub fn fill(&self, byte: u8) {
+        self.bytes.write().fill(byte);
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Region")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// The machine's physical memory: an allocator and table of regions.
+pub struct PhysMem {
+    next_id: AtomicU64,
+    regions: Mutex<Vec<Arc<Region>>>,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem {
+            next_id: AtomicU64::new(1),
+            regions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocates a zero-filled region of `len` bytes.
+    pub fn alloc(&self, label: impl Into<String>, len: usize) -> Arc<Region> {
+        let id = RegionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let region = Arc::new(Region {
+            id,
+            label: label.into(),
+            len,
+            bytes: RwLock::new(vec![0u8; len]),
+        });
+        self.regions.lock().push(Arc::clone(&region));
+        region
+    }
+
+    /// Looks up a region by id.
+    pub fn get(&self, id: RegionId) -> Option<Arc<Region>> {
+        self.regions.lock().iter().find(|r| r.id == id).cloned()
+    }
+
+    /// Releases a region from the table (outstanding `Arc`s keep the bytes
+    /// alive; the region simply stops being addressable).
+    pub fn free(&self, id: RegionId) {
+        self.regions.lock().retain(|r| r.id != id);
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.regions.lock().iter().map(|r| r.len).sum()
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.lock().len()
+    }
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mem = PhysMem::new();
+        let r = mem.alloc("astack", 1024);
+        r.write_raw(100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(r.read_vec(100, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(r.read_vec(99, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn out_of_range_accesses_fault() {
+        let mem = PhysMem::new();
+        let r = mem.alloc("small", 8);
+        assert!(matches!(
+            r.write_raw(6, &[0; 4]),
+            Err(MemFault::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            r.read_raw(8, &mut [0; 1]),
+            Err(MemFault::OutOfRange { .. })
+        ));
+        // Boundary case: a write ending exactly at the region end is fine.
+        assert!(r.write_raw(4, &[9; 4]).is_ok());
+        // Offset overflow must not panic.
+        assert!(r.write_raw(usize::MAX, &[1]).is_err());
+    }
+
+    #[test]
+    fn page_count_and_page_ids() {
+        let mem = PhysMem::new();
+        let r = mem.alloc("pages", PAGE_SIZE * 2 + 1);
+        assert_eq!(r.page_count(), 3);
+        let pages: Vec<_> = r.pages_for(0, PAGE_SIZE + 1).collect();
+        assert_eq!(pages.len(), 2);
+        let pages: Vec<_> = r.pages_for(PAGE_SIZE - 1, 2).collect();
+        assert_eq!(pages.len(), 2);
+        let pages: Vec<_> = r.pages_for(10, 0).collect();
+        assert!(pages.is_empty());
+    }
+
+    #[test]
+    fn page_ids_distinct_across_regions() {
+        let mem = PhysMem::new();
+        let a = mem.alloc("a", PAGE_SIZE);
+        let b = mem.alloc("b", PAGE_SIZE);
+        assert_ne!(PageId::of(a.id(), 0), PageId::of(b.id(), 0));
+    }
+
+    #[test]
+    fn free_removes_from_table() {
+        let mem = PhysMem::new();
+        let r = mem.alloc("gone", 64);
+        assert!(mem.get(r.id()).is_some());
+        mem.free(r.id());
+        assert!(mem.get(r.id()).is_none());
+        assert_eq!(mem.region_count(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Execution metering.
+//!
+//! A [`Meter`] records where simulated time goes during a call: one
+//! [`Segment`] per charged phase, optionally attributed to a named lock
+//! when the time was spent inside a critical section. The meter is what
+//! regenerates the paper's Table 5 (time breakdown of the Null LRPC) and
+//! the Section 3.4 claim that A-stack queue operations are under 2 % of
+//! call time.
+
+use std::collections::BTreeMap;
+
+use crate::time::Nanos;
+
+/// The phase of a call a charged cost belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Phase {
+    /// The formal procedure call into the client stub (and its returns).
+    ProcedureCall,
+    /// Client stub execution (both call and return halves).
+    ClientStub,
+    /// Kernel trap entry or exit.
+    Trap,
+    /// Kernel transfer path: validation and linkage management.
+    KernelTransfer,
+    /// Virtual-memory context switch (including TLB invalidation).
+    ContextSwitch,
+    /// Idle-processor exchange in place of a context switch.
+    ProcessorExchange,
+    /// Server stub execution (entry and return halves).
+    ServerStub,
+    /// The body of the server procedure itself.
+    ServerProcedure,
+    /// Argument/result byte copying and per-argument stub operations.
+    ArgCopy,
+    /// A-stack free-queue operations.
+    QueueOp,
+    /// Marshaling of complex values (the Modula2+ fallback path, and all
+    /// of conventional RPC's stub work).
+    Marshal,
+    /// Message buffer allocation, management and flow control.
+    BufferManagement,
+    /// Enqueue/dequeue and copying of messages between domains.
+    MessageTransfer,
+    /// Receiver-side message interpretation and thread dispatch.
+    Dispatch,
+    /// Blocking the client's concrete thread and selecting a server thread.
+    Scheduling,
+    /// Access validation of the message sender.
+    Validation,
+    /// Simulated network transmission (cross-machine calls only).
+    Network,
+    /// Time spent waiting for a contended resource.
+    Wait,
+    /// Anything else.
+    Other,
+}
+
+impl Phase {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::ProcedureCall => "procedure call",
+            Phase::ClientStub => "client stub",
+            Phase::Trap => "kernel trap",
+            Phase::KernelTransfer => "kernel transfer",
+            Phase::ContextSwitch => "context switch",
+            Phase::ProcessorExchange => "processor exchange",
+            Phase::ServerStub => "server stub",
+            Phase::ServerProcedure => "server procedure",
+            Phase::ArgCopy => "argument copy",
+            Phase::QueueOp => "A-stack queue op",
+            Phase::Marshal => "marshaling",
+            Phase::BufferManagement => "buffer management",
+            Phase::MessageTransfer => "message transfer",
+            Phase::Dispatch => "dispatch",
+            Phase::Scheduling => "scheduling",
+            Phase::Validation => "access validation",
+            Phase::Network => "network",
+            Phase::Wait => "wait",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// One contiguous charged span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// What the time was spent on.
+    pub phase: Phase,
+    /// How long.
+    pub dur: Nanos,
+    /// Name of the lock held while this time was spent, if any.
+    pub lock: Option<&'static str>,
+}
+
+/// A recorder of charged time.
+///
+/// A disabled meter (the default for throughput loops) skips all recording;
+/// charging the CPU clock is independent of the meter.
+#[derive(Debug, Default)]
+pub struct Meter {
+    enabled: bool,
+    segments: Vec<Segment>,
+    tlb_misses: u64,
+}
+
+impl Meter {
+    /// A recording meter.
+    pub fn enabled() -> Meter {
+        Meter {
+            enabled: true,
+            segments: Vec::new(),
+            tlb_misses: 0,
+        }
+    }
+
+    /// A non-recording meter (all record calls are no-ops).
+    pub fn disabled() -> Meter {
+        Meter::default()
+    }
+
+    /// True if this meter records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a charged span.
+    pub fn record(&mut self, phase: Phase, dur: Nanos) {
+        self.record_locked(phase, dur, None);
+    }
+
+    /// Records a charged span spent holding the named lock.
+    pub fn record_locked(&mut self, phase: Phase, dur: Nanos, lock: Option<&'static str>) {
+        if self.enabled && !dur.is_zero() {
+            self.segments.push(Segment { phase, dur, lock });
+        }
+    }
+
+    /// Adds TLB misses observed while this meter was active.
+    pub fn add_tlb_misses(&mut self, n: u64) {
+        if self.enabled {
+            self.tlb_misses += n;
+        }
+    }
+
+    /// TLB misses observed.
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb_misses
+    }
+
+    /// All recorded segments, in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total recorded time.
+    pub fn total(&self) -> Nanos {
+        self.segments.iter().map(|s| s.dur).sum()
+    }
+
+    /// Total recorded time in one phase.
+    pub fn total_for(&self, phase: Phase) -> Nanos {
+        self.segments
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    /// Total time spent holding the named lock.
+    pub fn total_locked(&self, lock: &str) -> Nanos {
+        self.segments
+            .iter()
+            .filter(|s| s.lock == Some(lock))
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    /// Per-phase totals, sorted by phase.
+    pub fn breakdown(&self) -> BTreeMap<Phase, Nanos> {
+        let mut out = BTreeMap::new();
+        for s in &self.segments {
+            *out.entry(s.phase).or_insert(Nanos::ZERO) += s.dur;
+        }
+        out
+    }
+
+    /// Clears all recorded data, keeping the enabled state.
+    pub fn reset(&mut self) {
+        self.segments.clear();
+        self.tlb_misses = 0;
+    }
+
+    /// Merges another meter's segments into this one.
+    pub fn absorb(&mut self, other: &Meter) {
+        if self.enabled {
+            self.segments.extend_from_slice(&other.segments);
+            self.tlb_misses += other.tlb_misses;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_breakdown() {
+        let mut m = Meter::enabled();
+        m.record(Phase::Trap, Nanos::from_micros(18));
+        m.record(Phase::Trap, Nanos::from_micros(18));
+        m.record(Phase::ContextSwitch, Nanos::from_micros(33));
+        assert_eq!(m.total(), Nanos::from_micros(69));
+        assert_eq!(m.total_for(Phase::Trap), Nanos::from_micros(36));
+        assert_eq!(m.breakdown()[&Phase::ContextSwitch], Nanos::from_micros(33));
+    }
+
+    #[test]
+    fn disabled_meter_records_nothing() {
+        let mut m = Meter::disabled();
+        m.record(Phase::Trap, Nanos::from_micros(18));
+        m.add_tlb_misses(10);
+        assert_eq!(m.total(), Nanos::ZERO);
+        assert_eq!(m.tlb_misses(), 0);
+        assert!(m.segments().is_empty());
+    }
+
+    #[test]
+    fn lock_attribution() {
+        let mut m = Meter::enabled();
+        m.record_locked(
+            Phase::QueueOp,
+            Nanos::from_nanos(1_400),
+            Some("astack-queue"),
+        );
+        m.record_locked(
+            Phase::QueueOp,
+            Nanos::from_nanos(1_400),
+            Some("astack-queue"),
+        );
+        m.record(Phase::KernelTransfer, Nanos::from_micros(17));
+        assert_eq!(m.total_locked("astack-queue"), Nanos::from_nanos(2_800));
+        assert_eq!(m.total_locked("global"), Nanos::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_segments_are_dropped() {
+        let mut m = Meter::enabled();
+        m.record(Phase::Other, Nanos::ZERO);
+        assert!(m.segments().is_empty());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Meter::enabled();
+        let mut b = Meter::enabled();
+        b.record(Phase::Trap, Nanos::from_micros(18));
+        b.add_tlb_misses(3);
+        a.absorb(&b);
+        assert_eq!(a.total(), Nanos::from_micros(18));
+        assert_eq!(a.tlb_misses(), 3);
+    }
+}

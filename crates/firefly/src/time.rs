@@ -1,0 +1,220 @@
+//! Simulated time.
+//!
+//! All latency accounting in the simulated Firefly is done in virtual
+//! nanoseconds. The paper reports microseconds; [`Nanos`] provides lossless
+//! arithmetic at nanosecond granularity plus microsecond-oriented
+//! constructors and accessors so cost-model constants can be written the way
+//! the paper states them (e.g. `Nanos::from_micros_f64(0.9)` for one TLB
+//! miss on a C-VAX).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span (or instant, measured from machine power-on) of simulated time.
+///
+/// Internally a count of virtual nanoseconds. Arithmetic is saturating on
+/// the low end (subtraction never wraps below zero); addition uses plain
+/// `u64` addition, which cannot realistically overflow for the time scales
+/// simulated here (≈ 584 years).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero elapsed time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Nanos {
+        Nanos(ns)
+    }
+
+    /// Creates a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// Negative or non-finite inputs are clamped to zero; cost-model
+    /// constants are always non-negative.
+    pub fn from_micros_f64(us: f64) -> Nanos {
+        if !us.is_finite() || us <= 0.0 {
+            return Nanos(0);
+        }
+        Nanos((us * 1_000.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span expressed in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Latencies in this system are most naturally read in microseconds.
+        if self.0.is_multiple_of(1_000) {
+            write!(f, "{}us", self.0 / 1_000)
+        } else {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_roundtrip() {
+        assert_eq!(Nanos::from_micros(157).as_nanos(), 157_000);
+        assert_eq!(Nanos::from_micros(157).as_micros_f64(), 157.0);
+    }
+
+    #[test]
+    fn fractional_micros_round_to_nearest_nanosecond() {
+        assert_eq!(Nanos::from_micros_f64(0.9).as_nanos(), 900);
+        assert_eq!(Nanos::from_micros_f64(0.0004999).as_nanos(), 0);
+        assert_eq!(Nanos::from_micros_f64(0.0005001).as_nanos(), 1);
+    }
+
+    #[test]
+    fn negative_and_non_finite_clamp_to_zero() {
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(f64::INFINITY), Nanos::ZERO);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Nanos::from_micros(1) - Nanos::from_micros(2), Nanos::ZERO);
+        let mut t = Nanos::from_micros(1);
+        t -= Nanos::from_micros(5);
+        assert_eq!(t, Nanos::ZERO);
+    }
+
+    #[test]
+    fn display_prefers_whole_microseconds() {
+        assert_eq!(Nanos::from_micros(464).to_string(), "464us");
+        assert_eq!(Nanos::from_nanos(1_500).to_string(), "1.500us");
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let parts = [
+            Nanos::from_micros(7),
+            Nanos::from_micros(36),
+            Nanos::from_micros(66),
+        ];
+        let total: Nanos = parts.iter().copied().sum();
+        assert_eq!(total, Nanos::from_micros(109));
+        assert_eq!(Nanos::from_micros(33) * 2, Nanos::from_micros(66));
+        assert_eq!(Nanos::from_micros(66) / 2, Nanos::from_micros(33));
+    }
+}

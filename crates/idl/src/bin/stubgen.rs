@@ -1,0 +1,131 @@
+//! The LRPC stub generator, as a command-line tool.
+//!
+//! "The LRPC stub generator produces run-time stubs in assembly language
+//! directly from Modula2+ definition files" (Section 3.3). This tool reads
+//! an interface definition (from a file argument or stdin) and prints what
+//! the generator produced: the A-stack layouts, the Procedure Descriptor
+//! List the clerk will hand the kernel at bind time, and the disassembled
+//! stub programs.
+//!
+//! ```text
+//! cargo run -p idl --bin stubgen -- interface.idl
+//! echo 'interface M { procedure Add(a: int32, b: int32) -> int32; }' \
+//!     | cargo run -p idl --bin stubgen
+//! ```
+
+use std::io::Read;
+
+use idl::layout::SlotKind;
+use idl::stubgen::{compile, CompiledProc, StubLang};
+
+fn print_proc(p: &CompiledProc) {
+    println!("procedure {} (identifier {})", p.name, p.index);
+    println!(
+        "  language: {}",
+        match p.lang {
+            StubLang::Assembly => "assembly (fast path)",
+            StubLang::Modula2Plus => "Modula2+ (marshaling path)",
+        }
+    );
+    println!(
+        "  A-stacks: {} x {} bytes{}",
+        p.pd.simultaneous_calls,
+        p.pd.astack_size,
+        if p.layout.fixed {
+            " (exact, all parameters fixed-size)"
+        } else {
+            ""
+        }
+    );
+    if p.layout.uses_out_of_band {
+        println!("  note: some values travel in out-of-band segments");
+    }
+    println!("  frame layout ({} bytes used):", p.layout.frame_size);
+    for (slot, param) in p.layout.params.iter().zip(&p.def.params) {
+        println!(
+            "    +{:<4} {:<5} {:<24} {:?} {}",
+            slot.offset,
+            format!("[{}]", slot.size),
+            format!("{}: {}", param.name, param.ty),
+            param.dir,
+            match slot.kind {
+                SlotKind::Inline => "",
+                SlotKind::OutOfBand => "(out-of-band descriptor)",
+            }
+        );
+    }
+    if let (Some(slot), Some(ret)) = (&p.layout.ret, &p.def.ret) {
+        println!(
+            "    +{:<4} {:<5} {:<24} ret",
+            slot.offset,
+            format!("[{}]", slot.size),
+            ret
+        );
+    }
+    println!("  client call stub:");
+    for line in p.client_call.disassemble().lines().skip(1) {
+        println!("  {line}");
+    }
+    println!("  server entry stub:");
+    for line in p.server_entry.disassemble().lines().skip(1) {
+        println!("  {line}");
+    }
+    println!("  server return stub:");
+    for line in p.server_return.disassemble().lines().skip(1) {
+        println!("  {line}");
+    }
+    println!("  client return stub:");
+    for line in p.client_return.disassemble().lines().skip(1) {
+        println!("  {line}");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let src = match args.first().map(String::as_str) {
+        Some("--help" | "-h") => {
+            eprintln!("usage: stubgen [interface.idl]   (reads stdin if no file given)");
+            return;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("stubgen: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("stubgen: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+    };
+
+    let def = match idl::parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stubgen: parse error at {e}");
+            std::process::exit(1);
+        }
+    };
+    let compiled = compile(&def);
+
+    println!(
+        "interface {} — {} procedure(s)",
+        compiled.name,
+        compiled.procs.len()
+    );
+    let total_astack_bytes: usize = compiled
+        .pdl()
+        .iter()
+        .map(|pd| pd.astack_size * pd.simultaneous_calls as usize)
+        .sum();
+    println!("pairwise A-stack allocation at bind time: {total_astack_bytes} bytes\n");
+    for p in &compiled.procs {
+        print_proc(p);
+    }
+}

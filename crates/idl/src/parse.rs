@@ -1,0 +1,602 @@
+//! Parser for interface definition files.
+//!
+//! The concrete syntax is a small Modula2+-flavoured IDL:
+//!
+//! ```text
+//! interface FileServer {
+//!     procedure Null();
+//!     procedure Add(a: int32, b: int32) -> int32;
+//!     [astacks = 8]
+//!     procedure Write(handle: int32, data: in bytes[1024] noninterpreted) -> int32;
+//!     procedure Stat(path: var bytes[256]) -> record { size: int32, mtime: int32 };
+//!     procedure Walk(t: ref tree);
+//! }
+//! ```
+//!
+//! Parameters default to direction `in`; `out`, `inout`, `ref` and
+//! `noninterpreted` are the Section 3.2/3.5 annotations the stub generator
+//! acts on. The `[astacks = N]` and `[astack_size = N]` attributes are the
+//! Section 5.2 overrides.
+
+use core::fmt;
+
+use crate::ast::{Dir, InterfaceDef, Param, ProcDef};
+use crate::types::{ComplexKind, Ty};
+
+/// A parse error with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Semi,
+    Comma,
+    Arrow,
+    Eq,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // Line comments: `//` or `#`.
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'=' => {
+                self.bump();
+                Tok::Eq
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    return Err(self.error("expected `->`"));
+                }
+            }
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d - b'0')))
+                        .ok_or_else(|| self.error("integer literal too large"))?;
+                    self.bump();
+                }
+                Tok::Int(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // SAFETY-free: the slice is ASCII identifier characters.
+                Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Parser<'a>, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+        })
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        let (tok, line, col) = self.lexer.next()?;
+        self.line = line;
+        self.col = col;
+        Ok(std::mem::replace(&mut self.tok, tok))
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if &self.tok == want {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.tok)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.tok.clone() {
+            Tok::Ident(s) => {
+                self.advance()?;
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.tok {
+            Tok::Ident(s) if s == kw => {
+                self.advance()?;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<bool, ParseError> {
+        if matches!(&self.tok, Tok::Ident(s) if s == kw) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.tok {
+            Tok::Int(n) => {
+                self.advance()?;
+                Ok(n)
+            }
+            ref other => Err(self.error(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn interface(&mut self) -> Result<InterfaceDef, ParseError> {
+        self.expect_keyword("interface")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut procs = Vec::new();
+        while self.tok != Tok::RBrace {
+            procs.push(self.procedure()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        if self.tok != Tok::Eof {
+            return Err(self.error(format!("trailing input after interface: {}", self.tok)));
+        }
+        if procs.is_empty() {
+            return Err(self.error("interface declares no procedures"));
+        }
+        // Semantic checks: procedure identifiers are the dispatch keys and
+        // parameter names feed generated code, so duplicates are rejected
+        // at definition time.
+        let mut seen = std::collections::HashSet::new();
+        for p in &procs {
+            if !seen.insert(p.name.as_str()) {
+                return Err(self.error(format!("duplicate procedure name `{}`", p.name)));
+            }
+            let mut params = std::collections::HashSet::new();
+            for param in &p.params {
+                if !params.insert(param.name.as_str()) {
+                    return Err(self.error(format!(
+                        "duplicate parameter name `{}` in procedure `{}`",
+                        param.name, p.name
+                    )));
+                }
+            }
+        }
+        Ok(InterfaceDef::new(name, procs))
+    }
+
+    fn procedure(&mut self) -> Result<ProcDef, ParseError> {
+        let mut astack_count = None;
+        let mut astack_size = None;
+        while self.tok == Tok::LBracket {
+            self.advance()?;
+            let key = self.expect_ident()?;
+            self.expect(&Tok::Eq)?;
+            let value = self.expect_int()?;
+            self.expect(&Tok::RBracket)?;
+            match key.as_str() {
+                "astacks" => {
+                    if value == 0 {
+                        return Err(self.error("astacks must be at least 1"));
+                    }
+                    astack_count = Some(value as u32);
+                }
+                "astack_size" => astack_size = Some(value as usize),
+                other => {
+                    return Err(self.error(format!("unknown attribute `{other}`")));
+                }
+            }
+        }
+        self.expect_keyword("procedure")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                params.push(self.param()?);
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let ret = if self.tok == Tok::Arrow {
+            self.advance()?;
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(ProcDef {
+            name,
+            params,
+            ret,
+            astack_count,
+            astack_size,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(&Tok::Colon)?;
+        let dir = if self.eat_keyword("in")? {
+            Dir::In
+        } else if self.eat_keyword("out")? {
+            Dir::Out
+        } else if self.eat_keyword("inout")? {
+            Dir::InOut
+        } else {
+            Dir::In
+        };
+        let by_ref = self.eat_keyword("ref")?;
+        let ty = self.ty()?;
+        let mut noninterpreted = false;
+        while let Tok::Ident(s) = &self.tok {
+            match s.as_str() {
+                "noninterpreted" => {
+                    noninterpreted = true;
+                    self.advance()?;
+                }
+                other => {
+                    return Err(self.error(format!("unknown parameter annotation `{other}`")));
+                }
+            }
+        }
+        Ok(Param {
+            name,
+            ty,
+            dir,
+            noninterpreted,
+            by_ref,
+        })
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "bool" => Ok(Ty::Bool),
+            "byte" => Ok(Ty::Byte),
+            "int16" => Ok(Ty::Int16),
+            "int32" => Ok(Ty::Int32),
+            "cardinal" => Ok(Ty::Cardinal),
+            "bytes" => {
+                self.expect(&Tok::LBracket)?;
+                let n = self.expect_int()? as usize;
+                self.expect(&Tok::RBracket)?;
+                if n == 0 {
+                    return Err(self.error("byte array size must be at least 1"));
+                }
+                Ok(Ty::ByteArray(n))
+            }
+            "var" => {
+                self.expect_keyword("bytes")?;
+                self.expect(&Tok::LBracket)?;
+                let n = self.expect_int()? as usize;
+                self.expect(&Tok::RBracket)?;
+                if n == 0 {
+                    return Err(self.error("variable byte array maximum must be at least 1"));
+                }
+                Ok(Ty::VarBytes(n))
+            }
+            "record" => {
+                self.expect(&Tok::LBrace)?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.expect_ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let fty = self.ty()?;
+                    fields.push((fname, fty));
+                    if self.tok == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Ty::Record(fields))
+            }
+            "list" => Ok(Ty::Complex(ComplexKind::LinkedList)),
+            "tree" => Ok(Ty::Complex(ComplexKind::Tree)),
+            "gc" => Ok(Ty::Complex(ComplexKind::GarbageCollected)),
+            other => Err(self.error(format!("unknown type `{other}`"))),
+        }
+    }
+}
+
+/// Parses one interface definition.
+///
+/// # Examples
+///
+/// ```
+/// let iface = idl::parse("interface Math { procedure Add(a: int32, b: int32) -> int32; }")
+///     .expect("valid interface");
+/// assert_eq!(iface.name, "Math");
+/// assert_eq!(iface.procs.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<InterfaceDef, ParseError> {
+    Parser::new(src)?.interface()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_four_test_procedures() {
+        // The Table 4 benchmark interface.
+        let src = r#"
+            interface Bench {
+                procedure Null();
+                procedure Add(a: int32, b: int32) -> int32;
+                procedure BigIn(data: in bytes[200]);
+                procedure BigInOut(data: inout bytes[200]);
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        assert_eq!(iface.name, "Bench");
+        assert_eq!(iface.procs.len(), 4);
+        assert_eq!(iface.procs[0].params.len(), 0);
+        assert_eq!(iface.procs[1].ret, Some(Ty::Int32));
+        assert_eq!(iface.procs[3].params[0].dir, Dir::InOut);
+    }
+
+    #[test]
+    fn parses_annotations_and_attributes() {
+        let src = r#"
+            interface FS {
+                [astacks = 8] [astack_size = 2048]
+                procedure Write(h: int32, data: in ref bytes[1024] noninterpreted) -> int32;
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        let w = &iface.procs[0];
+        assert_eq!(w.astack_count, Some(8));
+        assert_eq!(w.astack_size, Some(2048));
+        assert!(w.params[1].noninterpreted);
+        assert!(w.params[1].by_ref);
+    }
+
+    #[test]
+    fn parses_records_and_complex_types() {
+        let src = r#"
+            interface Meta {
+                procedure Stat(path: var bytes[256]) -> record { size: int32, mtime: int32 };
+                procedure Walk(t: tree);
+                procedure Intern(l: list) -> gc;
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        assert!(matches!(iface.procs[0].ret, Some(Ty::Record(_))));
+        assert!(iface.procs[1].has_complex());
+        assert!(iface.procs[2].has_complex());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "interface C { // a comment\n # another\n procedure P(); }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("interface X {\n  procedure P(a: float);\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unknown type"));
+    }
+
+    #[test]
+    fn rejects_empty_interface_and_trailing_input() {
+        assert!(parse("interface E { }").is_err());
+        assert!(parse("interface E { procedure P(); } garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_sized_arrays_and_zero_astacks() {
+        assert!(parse("interface E { procedure P(x: bytes[0]); }").is_err());
+        assert!(parse("interface E { [astacks = 0] procedure P(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = parse("interface D { procedure P(); procedure P(a: int32); }").unwrap_err();
+        assert!(err.msg.contains("duplicate procedure name"));
+        let err = parse("interface D { procedure P(a: int32, a: bool); }").unwrap_err();
+        assert!(err.msg.contains("duplicate parameter name"));
+    }
+
+    #[test]
+    fn rejects_oversized_integer_literal() {
+        let src = "interface E { procedure P(x: bytes[99999999999999999999999]); }";
+        assert!(parse(src).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Pretty-printing of interface definitions.
+//!
+//! [`print_interface`] emits the concrete IDL syntax accepted by
+//! [`crate::parse::parse`]; printing and re-parsing round-trips exactly,
+//! which the property tests rely on. This is also what a "definition file
+//! exporter" would emit when lifting interfaces out of an existing system.
+
+use core::fmt::Write as _;
+
+use crate::ast::{Dir, InterfaceDef, Param, ProcDef};
+
+fn print_param(out: &mut String, p: &Param) {
+    out.push_str(&p.name);
+    out.push_str(": ");
+    match p.dir {
+        Dir::In => {} // The default; omitted for idiomatic output.
+        Dir::Out => out.push_str("out "),
+        Dir::InOut => out.push_str("inout "),
+    }
+    if p.by_ref {
+        out.push_str("ref ");
+    }
+    let _ = write!(out, "{}", p.ty);
+    if p.noninterpreted {
+        out.push_str(" noninterpreted");
+    }
+}
+
+fn print_proc(out: &mut String, p: &ProcDef) {
+    if let Some(n) = p.astack_count {
+        let _ = writeln!(out, "    [astacks = {n}]");
+    }
+    if let Some(n) = p.astack_size {
+        let _ = writeln!(out, "    [astack_size = {n}]");
+    }
+    out.push_str("    procedure ");
+    out.push_str(&p.name);
+    out.push('(');
+    for (i, param) in p.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        print_param(out, param);
+    }
+    out.push(')');
+    if let Some(ret) = &p.ret {
+        let _ = write!(out, " -> {ret}");
+    }
+    out.push_str(";\n");
+}
+
+/// Renders an interface definition in the concrete IDL syntax.
+///
+/// # Examples
+///
+/// ```
+/// let src = "interface M { procedure Add(a: int32, b: int32) -> int32; }";
+/// let iface = idl::parse(src).unwrap();
+/// let printed = idl::print_interface(&iface);
+/// assert_eq!(idl::parse(&printed).unwrap(), iface);
+/// ```
+pub fn print_interface(iface: &InterfaceDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "interface {} {{", iface.name);
+    for p in &iface.procs {
+        print_proc(&mut out, p);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::types::{ComplexKind, Ty};
+    use proptest::prelude::*;
+
+    #[test]
+    fn prints_the_bench_interface() {
+        let src = r#"
+            interface Bench {
+                procedure Null();
+                [astacks = 8]
+                procedure Write(h: int32, data: in ref bytes[1024] noninterpreted) -> int32;
+                procedure Stat(p: var bytes[64]) -> record { size: int32, ok: bool };
+                procedure Walk(t: out tree);
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        let printed = print_interface(&iface);
+        assert!(printed.contains("[astacks = 8]"));
+        assert!(printed.contains("data: ref bytes[1024] noninterpreted"));
+        assert!(printed.contains("t: out tree"));
+        assert_eq!(parse(&printed).unwrap(), iface, "print/parse round-trip");
+    }
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+    }
+
+    fn arb_ty() -> impl Strategy<Value = Ty> {
+        let leaf = prop_oneof![
+            Just(Ty::Bool),
+            Just(Ty::Byte),
+            Just(Ty::Int16),
+            Just(Ty::Int32),
+            Just(Ty::Cardinal),
+            (1usize..2048).prop_map(Ty::ByteArray),
+            (1usize..2048).prop_map(Ty::VarBytes),
+            Just(Ty::Complex(ComplexKind::LinkedList)),
+            Just(Ty::Complex(ComplexKind::Tree)),
+            Just(Ty::Complex(ComplexKind::GarbageCollected)),
+        ];
+        leaf.prop_recursive(2, 8, 3, |inner| {
+            proptest::collection::vec((ident(), inner), 1..4)
+                .prop_map(Ty::Record)
+                .boxed()
+        })
+    }
+
+    fn arb_param() -> impl Strategy<Value = Param> {
+        (
+            ident(),
+            arb_ty(),
+            prop_oneof![Just(Dir::In), Just(Dir::Out), Just(Dir::InOut)],
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(name, ty, dir, noninterpreted, by_ref)| Param {
+                name,
+                ty,
+                dir,
+                noninterpreted,
+                by_ref,
+            })
+    }
+
+    fn arb_iface() -> impl Strategy<Value = InterfaceDef> {
+        let proc = (
+            ident(),
+            proptest::collection::vec(arb_param(), 0..4),
+            proptest::option::of(arb_ty()),
+            proptest::option::of(1u32..32),
+            proptest::option::of(4usize..4096),
+        )
+            .prop_map(|(name, params, ret, astacks, asize)| ProcDef {
+                name,
+                params,
+                ret,
+                astack_count: astacks,
+                astack_size: asize,
+            });
+        (ident(), proptest::collection::vec(proc, 1..6)).prop_map(|(name, mut procs)| {
+            // The parser rejects duplicate procedure/parameter names, so
+            // uniquify the generated ones by suffixing their index.
+            for (i, p) in procs.iter_mut().enumerate() {
+                p.name = format!("{}_{i}", p.name);
+                for (j, param) in p.params.iter_mut().enumerate() {
+                    param.name = format!("{}_{j}", param.name);
+                }
+            }
+            InterfaceDef::new(name, procs)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn print_parse_roundtrip(iface in arb_iface()) {
+            let printed = print_interface(&iface);
+            let reparsed = parse(&printed)
+                .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
+            prop_assert_eq!(reparsed, iface);
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! The stub VM: executes generated stub data operations.
+//!
+//! LRPC stubs "consist mainly of move and trap instructions"; the stub VM
+//! interprets the data-movement half of a [`crate::stubgen::StubProgram`]
+//! against an A-stack frame, charging the calibrated per-operation and
+//! per-byte costs to the executing CPU. Control operations (traps, queue
+//! operations, the branch into the procedure) are performed by the LRPC
+//! runtime itself — their cost is part of the fixed stub/kernel overhead
+//! constants.
+//!
+//! Modula2+ marshaling stubs run the same logical operations at 4× the
+//! per-operation cost (the paper measures "a factor of four performance
+//! improvement over Modula2+ stubs created by the SRC RPC stub
+//! generator").
+
+use firefly::cost::CostModel;
+use firefly::cpu::Cpu;
+use firefly::error::MemFault;
+use firefly::meter::{Meter, Phase};
+
+use crate::layout::SlotKind;
+use crate::stubgen::{CompiledProc, StubLang};
+use crate::types::Ty;
+use crate::wire::{decode, decode_checked, encode_vec, Value, WireError};
+
+/// Cost multiplier of the Modula2+ marshaling path relative to assembly
+/// stubs (Section 3.3).
+pub const MODULA2_SLOWDOWN: u64 = 4;
+
+/// An error raised by stub execution.
+#[derive(Debug)]
+pub enum StubError {
+    /// Encoding/decoding or conformance failure.
+    Wire(WireError),
+    /// The underlying frame (A-stack) access faulted.
+    Frame(MemFault),
+    /// Wrong number of arguments supplied to the client stub.
+    ArgCount {
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// An out-of-band descriptor referenced a missing segment.
+    OutOfBandMissing {
+        /// The dangling segment id.
+        id: u32,
+    },
+    /// The server procedure did not produce a declared result.
+    MissingResult,
+}
+
+impl core::fmt::Display for StubError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StubError::Wire(e) => write!(f, "wire error: {e}"),
+            StubError::Frame(e) => write!(f, "frame fault: {e}"),
+            StubError::ArgCount { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+            StubError::OutOfBandMissing { id } => {
+                write!(f, "out-of-band segment {id} missing")
+            }
+            StubError::MissingResult => write!(f, "server produced no result"),
+        }
+    }
+}
+
+impl std::error::Error for StubError {}
+
+impl From<WireError> for StubError {
+    fn from(e: WireError) -> StubError {
+        StubError::Wire(e)
+    }
+}
+
+impl From<MemFault> for StubError {
+    fn from(e: MemFault) -> StubError {
+        StubError::Frame(e)
+    }
+}
+
+/// Byte-level access to one call's A-stack frame.
+///
+/// The LRPC runtime implements this over a pairwise-shared memory region;
+/// tests and the message-RPC baseline use [`LocalFrame`].
+pub trait Frame {
+    /// Writes `data` at `offset` within the frame.
+    fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), StubError>;
+    /// Reads `len` bytes at `offset`.
+    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError>;
+}
+
+/// A plain in-memory frame.
+#[derive(Clone, Debug)]
+pub struct LocalFrame {
+    bytes: Vec<u8>,
+}
+
+impl LocalFrame {
+    /// A zeroed frame of `len` bytes.
+    pub fn new(len: usize) -> LocalFrame {
+        LocalFrame {
+            bytes: vec![0; len],
+        }
+    }
+
+    /// The raw frame contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Frame for LocalFrame {
+    fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), StubError> {
+        let end = offset
+            .checked_add(data.len())
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StubError::Frame(MemFault::OutOfRange {
+                region: firefly::mem::RegionId(0),
+                offset,
+                len: data.len(),
+            }))?;
+        self.bytes[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError> {
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StubError::Frame(MemFault::OutOfRange {
+                region: firefly::mem::RegionId(0),
+                offset,
+                len,
+            }))?;
+        Ok(self.bytes[offset..end].to_vec())
+    }
+}
+
+/// Out-of-band segments accompanying one call.
+pub type OobStore = Vec<Vec<u8>>;
+
+/// Fetched results: the return value plus `(param_index, value)` pairs for
+/// out-direction parameters.
+pub type FetchedResults = (Option<Value>, Vec<(usize, Value)>);
+
+/// True if the server stub must copy this parameter off the shared A-stack
+/// before use: conformance-checked types (the check is folded into the
+/// copy), interpreted variable data (the client could change it mid-call),
+/// and by-reference referents (the reference must be rebuilt on the private
+/// E-stack).
+pub fn needs_server_copy(param: &crate::ast::Param) -> bool {
+    param.ty.needs_conformance_check()
+        || (!param.noninterpreted && param.ty.fixed_size().is_none())
+        || param.by_ref
+}
+
+/// The stub interpreter, bound to one CPU and meter.
+pub struct StubVm<'a> {
+    cost: &'a CostModel,
+    cpu: &'a Cpu,
+    meter: &'a mut Meter,
+}
+
+impl<'a> StubVm<'a> {
+    /// Creates a VM charging to `cpu` under `cost`, recording into `meter`.
+    pub fn new(cost: &'a CostModel, cpu: &'a Cpu, meter: &'a mut Meter) -> StubVm<'a> {
+        StubVm { cost, cpu, meter }
+    }
+
+    fn charge_op(&mut self, lang: StubLang, bytes: usize) {
+        let mult = match lang {
+            StubLang::Assembly => 1,
+            StubLang::Modula2Plus => MODULA2_SLOWDOWN,
+        };
+        let cost = (self.cost.per_arg_op + self.cost.per_byte_copy * bytes as u64) * mult;
+        let phase = if lang == StubLang::Assembly {
+            Phase::ArgCopy
+        } else {
+            Phase::Marshal
+        };
+        self.cpu.charge(cost);
+        self.meter.record(phase, cost);
+    }
+
+    fn write_oob_descriptor(
+        &mut self,
+        frame: &mut dyn Frame,
+        offset: usize,
+        id: u32,
+        len: u32,
+    ) -> Result<(), StubError> {
+        let mut d = [0u8; 8];
+        d[..4].copy_from_slice(&id.to_le_bytes());
+        d[4..].copy_from_slice(&len.to_le_bytes());
+        frame.write(offset, &d)
+    }
+
+    fn read_oob_descriptor(
+        &mut self,
+        frame: &dyn Frame,
+        offset: usize,
+    ) -> Result<(u32, u32), StubError> {
+        let d = frame.read(offset, 8)?;
+        Ok((
+            u32::from_le_bytes([d[0], d[1], d[2], d[3]]),
+            u32::from_le_bytes([d[4], d[5], d[6], d[7]]),
+        ))
+    }
+
+    /// Client call half: pushes every in-direction argument onto the frame
+    /// (inline slots) or into out-of-band segments, charging stub costs.
+    pub fn client_push_args(
+        &mut self,
+        proc: &CompiledProc,
+        args: &[Value],
+        frame: &mut dyn Frame,
+        oob: &mut OobStore,
+    ) -> Result<(), StubError> {
+        if args.len() != proc.def.params.len() {
+            return Err(StubError::ArgCount {
+                expected: proc.def.params.len(),
+                got: args.len(),
+            });
+        }
+        for (i, param) in proc.def.params.iter().enumerate() {
+            if !param.dir.is_in() {
+                continue;
+            }
+            let slot = &proc.layout.params[i];
+            let encoded = encode_vec(&args[i], &param.ty)?;
+            match slot.kind {
+                SlotKind::Inline => {
+                    self.charge_op(proc.lang, encoded.len());
+                    frame.write(slot.offset, &encoded)?;
+                }
+                SlotKind::OutOfBand => {
+                    // Marshaling into the out-of-band segment is always on
+                    // the Modula2+ path.
+                    self.charge_op(StubLang::Modula2Plus, encoded.len());
+                    let id = oob.len() as u32;
+                    let len = encoded.len() as u32;
+                    oob.push(encoded);
+                    self.write_oob_descriptor(frame, slot.offset, id, len)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Server entry half: reads every parameter out of the frame, applying
+    /// the Section 3.5 rules — conformance checks folded into the copy,
+    /// defensive copies for interpreted variable data, reference rebuild
+    /// for by-ref parameters, unmarshaling for out-of-band values.
+    ///
+    /// Out-direction parameters get zero placeholders.
+    pub fn server_read_args(
+        &mut self,
+        proc: &CompiledProc,
+        frame: &dyn Frame,
+        oob: &OobStore,
+    ) -> Result<Vec<Value>, StubError> {
+        let mut vals = Vec::with_capacity(proc.def.params.len());
+        for (i, param) in proc.def.params.iter().enumerate() {
+            if !param.dir.is_in() {
+                vals.push(Value::zero_of(&param.ty));
+                continue;
+            }
+            let slot = &proc.layout.params[i];
+            let value = match slot.kind {
+                SlotKind::Inline => {
+                    let raw = frame.read(slot.offset, slot.size)?;
+                    if needs_server_copy(param) {
+                        // Defensive copy / checked copy / reference rebuild:
+                        // one more pass over the bytes.
+                        self.charge_op(proc.lang, slot.size.min(raw.len()));
+                        let (v, _) = decode_checked(&raw, &param.ty)?;
+                        v
+                    } else {
+                        // The server uses the value directly off the shared
+                        // A-stack ("the server procedure can directly
+                        // access the parameters as though it had been
+                        // called directly").
+                        let (v, _) = decode(&raw, &param.ty)?;
+                        v
+                    }
+                }
+                SlotKind::OutOfBand => {
+                    let (id, len) = self.read_oob_descriptor(frame, slot.offset)?;
+                    let seg = oob
+                        .get(id as usize)
+                        .ok_or(StubError::OutOfBandMissing { id })?;
+                    if seg.len() < len as usize {
+                        return Err(StubError::Wire(WireError::Truncated));
+                    }
+                    self.charge_op(StubLang::Modula2Plus, len as usize);
+                    let (v, _) = decode_checked(&seg[..len as usize], &param.ty)?;
+                    v
+                }
+            };
+            vals.push(value);
+        }
+        Ok(vals)
+    }
+
+    /// Server return half: places the return value and every out-direction
+    /// parameter into the frame.
+    ///
+    /// Inline placement is *free*: the server procedure writes its results
+    /// directly into the A-stack, which doubles as the reply message ("the
+    /// server places the results directly into the reply message",
+    /// Section 3.5) — only out-of-band results pay marshaling.
+    pub fn server_place_results(
+        &mut self,
+        proc: &CompiledProc,
+        ret: Option<&Value>,
+        outs: &[(usize, Value)],
+        frame: &mut dyn Frame,
+        oob: &mut OobStore,
+    ) -> Result<(), StubError> {
+        if let Some(ret_ty) = &proc.def.ret {
+            let ret_slot = proc.layout.ret.as_ref().expect("layout has a ret slot");
+            let v = ret.ok_or(StubError::MissingResult)?;
+            let encoded = encode_vec(v, ret_ty)?;
+            match ret_slot.kind {
+                SlotKind::Inline => {
+                    frame.write(ret_slot.offset, &encoded)?;
+                }
+                SlotKind::OutOfBand => {
+                    self.charge_op(StubLang::Modula2Plus, encoded.len());
+                    let id = oob.len() as u32;
+                    let len = encoded.len() as u32;
+                    oob.push(encoded);
+                    self.write_oob_descriptor(frame, ret_slot.offset, id, len)?;
+                }
+            }
+        }
+        for (i, v) in outs {
+            let param = &proc.def.params[*i];
+            if !param.dir.is_out() {
+                continue;
+            }
+            let slot = &proc.layout.params[*i];
+            let encoded = encode_vec(v, &param.ty)?;
+            match slot.kind {
+                SlotKind::Inline => {
+                    frame.write(slot.offset, &encoded)?;
+                }
+                SlotKind::OutOfBand => {
+                    self.charge_op(StubLang::Modula2Plus, encoded.len());
+                    let id = oob.len() as u32;
+                    let len = encoded.len() as u32;
+                    oob.push(encoded);
+                    self.write_oob_descriptor(frame, slot.offset, id, len)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Client return half: copies returned values "from the A-stack into
+    /// their final destination" (Section 3.5) — there is no intermediate
+    /// copy.
+    pub fn client_fetch_results(
+        &mut self,
+        proc: &CompiledProc,
+        frame: &dyn Frame,
+        oob: &OobStore,
+    ) -> Result<FetchedResults, StubError> {
+        let ret = match (&proc.def.ret, &proc.layout.ret) {
+            (Some(ret_ty), Some(slot)) => Some(self.fetch_slot(proc, frame, oob, slot, ret_ty)?),
+            _ => None,
+        };
+        let mut outs = Vec::new();
+        for (i, param) in proc.def.params.iter().enumerate() {
+            if param.dir.is_out() {
+                let slot = &proc.layout.params[i];
+                outs.push((i, self.fetch_slot(proc, frame, oob, slot, &param.ty)?));
+            }
+        }
+        Ok((ret, outs))
+    }
+
+    fn fetch_slot(
+        &mut self,
+        proc: &CompiledProc,
+        frame: &dyn Frame,
+        oob: &OobStore,
+        slot: &crate::layout::Slot,
+        ty: &Ty,
+    ) -> Result<Value, StubError> {
+        match slot.kind {
+            SlotKind::Inline => {
+                let raw = frame.read(slot.offset, slot.size)?;
+                self.charge_op(proc.lang, slot.size);
+                let (v, _) = decode(&raw, ty)?;
+                Ok(v)
+            }
+            SlotKind::OutOfBand => {
+                let (id, len) = self.read_oob_descriptor(frame, slot.offset)?;
+                let seg = oob
+                    .get(id as usize)
+                    .ok_or(StubError::OutOfBandMissing { id })?;
+                if seg.len() < len as usize {
+                    return Err(StubError::Wire(WireError::Truncated));
+                }
+                self.charge_op(StubLang::Modula2Plus, len as usize);
+                let (v, _) = decode(&seg[..len as usize], ty)?;
+                Ok(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::stubgen::compile;
+    use firefly::cpu::Machine;
+
+    fn vm_env() -> (std::sync::Arc<Machine>, Meter) {
+        (Machine::cvax_uniprocessor(), Meter::enabled())
+    }
+
+    fn compile_one(src: &str) -> crate::stubgen::CompiledInterface {
+        compile(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn add_arguments_roundtrip_through_the_frame() {
+        let iface = compile_one("interface B { procedure Add(a: int32, b: int32) -> int32; }");
+        let proc = &iface.procs[0];
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        vm.client_push_args(
+            proc,
+            &[Value::Int32(3), Value::Int32(4)],
+            &mut frame,
+            &mut oob,
+        )
+        .unwrap();
+        let args = vm.server_read_args(proc, &frame, &oob).unwrap();
+        assert_eq!(args, vec![Value::Int32(3), Value::Int32(4)]);
+
+        vm.server_place_results(proc, Some(&Value::Int32(7)), &[], &mut frame, &mut oob)
+            .unwrap();
+        let (ret, outs) = vm.client_fetch_results(proc, &frame, &oob).unwrap();
+        assert_eq!(ret, Some(Value::Int32(7)));
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn data_op_costs_are_charged() {
+        let iface = compile_one("interface B { procedure BigIn(data: bytes[200]); }");
+        let proc = &iface.procs[0];
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        vm.client_push_args(proc, &[Value::Bytes(vec![5; 200])], &mut frame, &mut oob)
+            .unwrap();
+        let expected = machine.cost().per_arg_op + machine.cost().per_byte_copy * 200;
+        assert_eq!(machine.cpu(0).now(), expected);
+        assert_eq!(meter.total_for(Phase::ArgCopy), expected);
+    }
+
+    #[test]
+    fn modula2_stubs_cost_four_times_more() {
+        let fast = compile_one("interface B { procedure P(d: bytes[100]); }");
+        let (machine, mut meter) = vm_env();
+        {
+            let mut frame = LocalFrame::new(fast.procs[0].layout.astack_size);
+            let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+            vm.client_push_args(
+                &fast.procs[0],
+                &[Value::Bytes(vec![0; 100])],
+                &mut frame,
+                &mut OobStore::new(),
+            )
+            .unwrap();
+        }
+        let fast_cost = machine.cpu(0).now();
+
+        // The same bytes through a complex-typed interface (gc blob).
+        let slow = compile_one("interface B { procedure P(d: gc); }");
+        machine.cpu(0).reset_clock();
+        {
+            let mut frame = LocalFrame::new(slow.procs[0].layout.astack_size);
+            let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+            vm.client_push_args(
+                &slow.procs[0],
+                &[Value::Gc(vec![0; 100])],
+                &mut frame,
+                &mut OobStore::new(),
+            )
+            .unwrap();
+        }
+        let slow_cost = machine.cpu(0).now();
+        let ratio = slow_cost.as_nanos() as f64 / fast_cost.as_nanos() as f64;
+        assert!(
+            (3.5..=4.5).contains(&ratio),
+            "marshaling path must be about 4x: {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn nonconforming_cardinal_is_rejected_by_the_server_copy() {
+        let iface = compile_one("interface B { procedure P(n: cardinal); }");
+        let proc = &iface.procs[0];
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        vm.client_push_args(proc, &[Value::Cardinal(-5)], &mut frame, &mut oob)
+            .unwrap();
+        let err = vm.server_read_args(proc, &frame, &oob).unwrap_err();
+        assert!(matches!(
+            err,
+            StubError::Wire(WireError::Conformance { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_band_values_travel_through_segments() {
+        let iface = compile_one("interface B { procedure Send(pkt: var bytes[4096]); }");
+        let proc = &iface.procs[0];
+        assert!(proc.layout.uses_out_of_band);
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        let payload = vec![0xCD; 3000];
+        vm.client_push_args(proc, &[Value::Var(payload.clone())], &mut frame, &mut oob)
+            .unwrap();
+        assert_eq!(oob.len(), 1);
+        let args = vm.server_read_args(proc, &frame, &oob).unwrap();
+        assert_eq!(args, vec![Value::Var(payload)]);
+    }
+
+    #[test]
+    fn missing_oob_segment_is_detected() {
+        let iface = compile_one("interface B { procedure Send(pkt: var bytes[4096]); }");
+        let proc = &iface.procs[0];
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        vm.client_push_args(proc, &[Value::Var(vec![1; 2000])], &mut frame, &mut oob)
+            .unwrap();
+        let empty = OobStore::new();
+        assert!(matches!(
+            vm.server_read_args(proc, &frame, &empty),
+            Err(StubError::OutOfBandMissing { id: 0 })
+        ));
+    }
+
+    #[test]
+    fn inout_parameters_return_updated_values() {
+        let iface = compile_one("interface B { procedure Inc(x: inout int32); }");
+        let proc = &iface.procs[0];
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(proc.layout.astack_size);
+        let mut oob = OobStore::new();
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        vm.client_push_args(proc, &[Value::Int32(41)], &mut frame, &mut oob)
+            .unwrap();
+        let args = vm.server_read_args(proc, &frame, &oob).unwrap();
+        assert_eq!(args[0], Value::Int32(41));
+        vm.server_place_results(proc, None, &[(0, Value::Int32(42))], &mut frame, &mut oob)
+            .unwrap();
+        let (ret, outs) = vm.client_fetch_results(proc, &frame, &oob).unwrap();
+        assert_eq!(ret, None);
+        assert_eq!(outs, vec![(0, Value::Int32(42))]);
+    }
+
+    #[test]
+    fn wrong_arg_count_is_rejected() {
+        let iface = compile_one("interface B { procedure P(a: int32); }");
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(16);
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        assert!(matches!(
+            vm.client_push_args(&iface.procs[0], &[], &mut frame, &mut OobStore::new()),
+            Err(StubError::ArgCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_declared_result_is_an_error() {
+        let iface = compile_one("interface B { procedure F() -> int32; }");
+        let (machine, mut meter) = vm_env();
+        let mut frame = LocalFrame::new(16);
+        let mut vm = StubVm::new(machine.cost(), machine.cpu(0), &mut meter);
+        assert!(matches!(
+            vm.server_place_results(&iface.procs[0], None, &[], &mut frame, &mut OobStore::new()),
+            Err(StubError::MissingResult)
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! The IDL type model.
+//!
+//! Section 2.2's measurements drive the distinctions this model makes:
+//! most parameters are small and of fixed size known at compile time
+//! ("four out of five parameters were of fixed size ... sixty-five percent
+//! were four bytes or fewer"); complex recursively-defined types exist but
+//! "were marshaled by system library procedures, rather than by
+//! machine-generated code". The stub generator treats these classes very
+//! differently (Section 3.3), so the type model must expose them.
+
+use core::fmt;
+
+/// Kinds of complex (recursively defined or garbage-collected) types that
+/// force the Modula2+ marshaling path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComplexKind {
+    /// A linked list.
+    LinkedList,
+    /// A binary tree.
+    Tree,
+    /// Data that must be made known to the garbage collector.
+    GarbageCollected,
+}
+
+impl ComplexKind {
+    /// Keyword used in interface definitions.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ComplexKind::LinkedList => "list",
+            ComplexKind::Tree => "tree",
+            ComplexKind::GarbageCollected => "gc",
+        }
+    }
+}
+
+/// A parameter or result type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// Boolean (1 byte on the wire).
+    Bool,
+    /// One byte.
+    Byte,
+    /// 16-bit signed integer.
+    Int16,
+    /// 32-bit signed integer.
+    Int32,
+    /// Modula2+ CARDINAL: a 32-bit value restricted to non-negative
+    /// integers. "A client could crash a server by passing it an unwanted
+    /// negative value" — the conformance check is folded into the stub's
+    /// copy (Section 3.5).
+    Cardinal,
+    /// Fixed-size byte array.
+    ByteArray(usize),
+    /// Variable-size byte array with the given maximum.
+    VarBytes(usize),
+    /// Record of named fields; fixed-size iff every field is.
+    Record(Vec<(String, Ty)>),
+    /// A complex type marshaled by library code.
+    Complex(ComplexKind),
+}
+
+impl Ty {
+    /// The exact wire size if it is known at compile time.
+    ///
+    /// Variable and complex types return `None`.
+    pub fn fixed_size(&self) -> Option<usize> {
+        match self {
+            Ty::Bool | Ty::Byte => Some(1),
+            Ty::Int16 => Some(2),
+            Ty::Int32 | Ty::Cardinal => Some(4),
+            Ty::ByteArray(n) => Some(*n),
+            Ty::VarBytes(_) | Ty::Complex(_) => None,
+            Ty::Record(fields) => {
+                let mut total = 0;
+                for (_, t) in fields {
+                    total += t.fixed_size()?;
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// An upper bound on the wire size, used for A-stack slot sizing of
+    /// variable types (a 4-byte length prefix plus the maximum payload).
+    ///
+    /// Complex types have no static bound; they return `None` and are
+    /// marshaled into dynamically-sized buffers.
+    pub fn max_size(&self) -> Option<usize> {
+        match self {
+            Ty::VarBytes(max) => Some(4 + *max),
+            Ty::Complex(_) => None,
+            Ty::Record(fields) => {
+                let mut total = 0;
+                for (_, t) in fields {
+                    total += t.max_size()?;
+                }
+                Some(total)
+            }
+            _ => self.fixed_size(),
+        }
+    }
+
+    /// True if the type (or any nested part) is complex and therefore needs
+    /// the Modula2+ marshaling path.
+    pub fn is_complex(&self) -> bool {
+        match self {
+            Ty::Complex(_) => true,
+            Ty::Record(fields) => fields.iter().any(|(_, t)| t.is_complex()),
+            _ => false,
+        }
+    }
+
+    /// True if the value needs a conformance check on receipt (CARDINAL's
+    /// non-negativity).
+    pub fn needs_conformance_check(&self) -> bool {
+        match self {
+            Ty::Cardinal => true,
+            Ty::Record(fields) => fields.iter().any(|(_, t)| t.needs_conformance_check()),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bool => write!(f, "bool"),
+            Ty::Byte => write!(f, "byte"),
+            Ty::Int16 => write!(f, "int16"),
+            Ty::Int32 => write!(f, "int32"),
+            Ty::Cardinal => write!(f, "cardinal"),
+            Ty::ByteArray(n) => write!(f, "bytes[{n}]"),
+            Ty::VarBytes(n) => write!(f, "var bytes[{n}]"),
+            Ty::Record(fields) => {
+                write!(f, "record {{ ")?;
+                for (i, (name, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {t}")?;
+                }
+                write!(f, " }}")
+            }
+            Ty::Complex(k) => write!(f, "{}", k.keyword()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_sizes() {
+        assert_eq!(Ty::Bool.fixed_size(), Some(1));
+        assert_eq!(Ty::Int32.fixed_size(), Some(4));
+        assert_eq!(Ty::Cardinal.fixed_size(), Some(4));
+        assert_eq!(Ty::ByteArray(200).fixed_size(), Some(200));
+        assert_eq!(Ty::VarBytes(100).fixed_size(), None);
+        assert_eq!(Ty::Complex(ComplexKind::LinkedList).fixed_size(), None);
+    }
+
+    #[test]
+    fn record_size_is_sum_of_fields() {
+        let r = Ty::Record(vec![("size".into(), Ty::Int32), ("flag".into(), Ty::Bool)]);
+        assert_eq!(r.fixed_size(), Some(5));
+        let r2 = Ty::Record(vec![("data".into(), Ty::VarBytes(8))]);
+        assert_eq!(r2.fixed_size(), None);
+        assert_eq!(r2.max_size(), Some(12));
+    }
+
+    #[test]
+    fn var_bytes_max_includes_length_prefix() {
+        assert_eq!(Ty::VarBytes(100).max_size(), Some(104));
+    }
+
+    #[test]
+    fn complexity_propagates_through_records() {
+        let r = Ty::Record(vec![("next".into(), Ty::Complex(ComplexKind::Tree))]);
+        assert!(r.is_complex());
+        assert_eq!(r.max_size(), None);
+        assert!(!Ty::ByteArray(4).is_complex());
+    }
+
+    #[test]
+    fn cardinal_needs_conformance_check() {
+        assert!(Ty::Cardinal.needs_conformance_check());
+        assert!(!Ty::Int32.needs_conformance_check());
+        let r = Ty::Record(vec![("count".into(), Ty::Cardinal)]);
+        assert!(r.needs_conformance_check());
+    }
+
+    #[test]
+    fn display_roundtrips_keywords() {
+        assert_eq!(Ty::VarBytes(16).to_string(), "var bytes[16]");
+        assert_eq!(Ty::Complex(ComplexKind::GarbageCollected).to_string(), "gc");
+    }
+}

@@ -1,0 +1,204 @@
+//! Edge-case battery for the IDL lexer and parser.
+
+use idl::ast::Dir;
+use idl::parse;
+use idl::types::{ComplexKind, Ty};
+
+#[test]
+fn whitespace_and_newline_forms() {
+    for src in [
+        "interface A{procedure P();}",
+        "interface A { procedure P ( ) ; }",
+        "interface A {\n\tprocedure\nP\n(\n)\n;\n}",
+        "  interface A { procedure P(); }  ",
+        "\ninterface A {\r\n procedure P();\r\n}\r\n",
+    ] {
+        let iface = parse(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        assert_eq!(iface.name, "A");
+        assert_eq!(iface.procs.len(), 1);
+    }
+}
+
+#[test]
+fn both_comment_styles_anywhere() {
+    let src = r#"
+        // leading comment
+        interface C { # hash comment
+            // between items
+            procedure P(
+                a: int32, // trailing after a param
+                b: bool   # and hash form
+            ) -> int32; // after the ret
+            # before the brace
+        }
+        // trailing comment
+    "#;
+    let iface = parse(src).expect("comments are trivia");
+    assert_eq!(iface.procs[0].params.len(), 2);
+}
+
+#[test]
+fn deeply_nested_records_parse() {
+    let src = "interface N { procedure P(r: record { a: record { b: record { c: int32 } } }); }";
+    let iface = parse(src).unwrap();
+    let Ty::Record(outer) = &iface.procs[0].params[0].ty else {
+        panic!()
+    };
+    let Ty::Record(mid) = &outer[0].1 else {
+        panic!()
+    };
+    let Ty::Record(inner) = &mid[0].1 else {
+        panic!()
+    };
+    assert_eq!(inner[0].0, "c");
+    assert_eq!(inner[0].1, Ty::Int32);
+}
+
+#[test]
+fn all_directions_and_annotations_combine() {
+    let src = r#"interface D {
+        procedure P(
+            a: in int32,
+            b: out bytes[4],
+            c: inout var bytes[8] noninterpreted,
+            d: in ref bytes[16] noninterpreted,
+            e: ref int32
+        );
+    }"#;
+    let p = &parse(src).unwrap().procs[0];
+    assert_eq!(p.params[0].dir, Dir::In);
+    assert_eq!(p.params[1].dir, Dir::Out);
+    assert_eq!(p.params[2].dir, Dir::InOut);
+    assert!(p.params[2].noninterpreted);
+    assert!(p.params[3].by_ref && p.params[3].noninterpreted);
+    assert!(p.params[4].by_ref);
+    assert_eq!(
+        p.params[4].dir,
+        Dir::In,
+        "ref without a direction defaults to in"
+    );
+}
+
+#[test]
+fn keyword_like_identifiers_are_allowed_as_names() {
+    // Parameter/procedure/interface names may collide with keywords since
+    // position disambiguates.
+    let src = "interface record { procedure tree(bytes: int32, record: bool) -> int32; }";
+    let iface = parse(src).unwrap();
+    assert_eq!(iface.name, "record");
+    assert_eq!(iface.procs[0].name, "tree");
+    assert_eq!(iface.procs[0].params[0].name, "bytes");
+}
+
+#[test]
+fn complex_type_keywords() {
+    let src = "interface K { procedure P(a: list, b: tree, c: gc); }";
+    let p = &parse(src).unwrap().procs[0];
+    assert_eq!(p.params[0].ty, Ty::Complex(ComplexKind::LinkedList));
+    assert_eq!(p.params[1].ty, Ty::Complex(ComplexKind::Tree));
+    assert_eq!(p.params[2].ty, Ty::Complex(ComplexKind::GarbageCollected));
+}
+
+#[test]
+fn attribute_order_and_repetition() {
+    let src = r#"interface A {
+        [astack_size = 64] [astacks = 2]
+        procedure P();
+        [astacks = 3]
+        [astack_size = 128]
+        procedure Q();
+    }"#;
+    let iface = parse(src).unwrap();
+    assert_eq!(iface.procs[0].astack_count, Some(2));
+    assert_eq!(iface.procs[0].astack_size, Some(64));
+    assert_eq!(iface.procs[1].astack_count, Some(3));
+    assert_eq!(iface.procs[1].astack_size, Some(128));
+}
+
+#[test]
+fn error_battery() {
+    // Each bad input must fail with a sensible message, not panic.
+    let cases: &[(&str, &str)] = &[
+        ("", "expected `interface`"),
+        ("interface", "expected identifier"),
+        ("interface X", "expected `{`"),
+        ("interface X {", "expected"),
+        ("interface X { procedure P() }", "expected `;`"),
+        ("interface X { procedure P(a int32); }", "expected `:`"),
+        ("interface X { procedure P(a:); }", "expected identifier"),
+        (
+            "interface X { procedure P(a: int32,); }",
+            "expected identifier",
+        ),
+        ("interface X { procedure P() -> ; }", "expected identifier"),
+        ("interface X { procedure P(x: bytes); }", "expected `[`"),
+        (
+            "interface X { procedure P(x: bytes[]); }",
+            "expected integer",
+        ),
+        (
+            "interface X { procedure P(x: var int32); }",
+            "expected `bytes`",
+        ),
+        (
+            "interface X { procedure P(x: record {}); }",
+            "expected identifier",
+        ),
+        (
+            "interface X { [bogus = 1] procedure P(); }",
+            "unknown attribute",
+        ),
+        ("interface X { [astacks] procedure P(); }", "expected `=`"),
+        (
+            "interface X { procedure P(x: int32 frobnicate); }",
+            "unknown parameter annotation",
+        ),
+        ("interface X { procedure P(); } }", "trailing input"),
+        (
+            "interface X { procedure P(); procedure P@(); }",
+            "unexpected character",
+        ),
+        (
+            "interface X { procedure P(x: int32) - int32; }",
+            "expected `->`",
+        ),
+    ];
+    for (src, want) in cases {
+        let err = parse(src).expect_err(src);
+        assert!(
+            err.msg.contains(want),
+            "{src:?}: expected message containing {want:?}, got {:?}",
+            err.msg
+        );
+    }
+}
+
+#[test]
+fn positions_point_at_the_offending_token() {
+    let err = parse("interface X {\n  procedure P();\n  procedure Q(a: wat);\n}").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.col > 10);
+}
+
+#[test]
+fn large_but_valid_interface_parses() {
+    // 100 procedures with varied signatures.
+    let mut src = String::from("interface Big {\n");
+    for i in 0..100 {
+        src.push_str(&format!(
+            "procedure P{i}(a: int32, b: bytes[{}], c: var bytes[{}]) -> int32;\n",
+            1 + i % 64,
+            1 + i % 512,
+        ));
+    }
+    src.push('}');
+    let iface = parse(&src).unwrap();
+    assert_eq!(iface.procs.len(), 100);
+    // And the whole thing compiles to stubs without issue.
+    let compiled = idl::compile(&iface);
+    assert_eq!(compiled.procs.len(), 100);
+    assert!(compiled
+        .procs
+        .iter()
+        .all(|p| p.lang == idl::StubLang::Assembly));
+}

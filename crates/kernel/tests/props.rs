@@ -1,0 +1,167 @@
+//! Property tests for the kernel abstractions.
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use kernel::ids::{DomainId, ThreadId};
+use kernel::objects::{HandleError, HandleTable, RawHandle};
+use kernel::thread::{Linkage, ReturnPath, Thread};
+use proptest::prelude::*;
+
+fn linkage(caller: u64, callee: u64) -> Linkage {
+    Linkage {
+        caller_domain: DomainId(caller),
+        callee_domain: DomainId(callee),
+        binding: RawHandle { id: 1, nonce: 1 },
+        astack_index: 0,
+        proc_index: 0,
+        return_sp: 0,
+        valid: true,
+    }
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Handle table.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn only_the_issued_handle_resolves(values in proptest::collection::vec(any::<u32>(), 1..20),
+                                       perturb in 1u64..u64::MAX) {
+        let table = HandleTable::new();
+        let handles: Vec<RawHandle> = values.iter().map(|v| table.insert(*v)).collect();
+        for (h, v) in handles.iter().zip(&values) {
+            prop_assert_eq!(table.get(*h), Ok(*v));
+            let forged = RawHandle { id: h.id, nonce: h.nonce ^ perturb };
+            prop_assert_eq!(table.get(forged), Err(HandleError::Forged));
+        }
+    }
+
+    #[test]
+    fn revocation_order_does_not_matter(n in 1usize..16, order in proptest::collection::vec(any::<u16>(), 1..16)) {
+        let table = HandleTable::new();
+        let handles: Vec<RawHandle> = (0..n as u32).map(|v| table.insert(v)).collect();
+        let mut revoked = std::collections::HashSet::new();
+        for &o in &order {
+            let idx = o as usize % handles.len();
+            table.revoke(handles[idx]);
+            revoked.insert(idx);
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if revoked.contains(&i) {
+                prop_assert_eq!(table.get(*h), Err(HandleError::Dangling));
+            } else {
+                prop_assert_eq!(table.get(*h), Ok(i as u32));
+            }
+        }
+        prop_assert_eq!(table.len(), handles.len() - revoked.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Linkage stack.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn linkage_stack_unwinds_lifo(domains in proptest::collection::vec(2u64..10, 1..8)) {
+        // Thread starts in domain 1, calls through a chain of domains.
+        let t = Thread::new(ThreadId(1), DomainId(1));
+        let mut chain = vec![1u64];
+        for &d in &domains {
+            t.push_linkage(linkage(*chain.last().unwrap(), d));
+            chain.push(d);
+        }
+        prop_assert_eq!(t.call_depth(), domains.len());
+        // Unwinding visits the callers in reverse.
+        for expected in chain.iter().rev().skip(1) {
+            match t.pop_linkage() {
+                ReturnPath::Return { to, call_failed } => {
+                    prop_assert!(!call_failed);
+                    prop_assert_eq!(to.caller_domain, DomainId(*expected));
+                    prop_assert_eq!(t.current_domain(), DomainId(*expected));
+                }
+                ReturnPath::DestroyThread => prop_assert!(false, "valid chain must unwind"),
+            }
+        }
+        prop_assert_eq!(t.call_depth(), 0);
+    }
+
+    #[test]
+    fn invalidating_a_middle_domain_skips_to_the_next_valid_caller(
+        depth in 2usize..6,
+        victim in 1usize..5,
+    ) {
+        let victim = victim.min(depth - 1);
+        let t = Thread::new(ThreadId(1), DomainId(1));
+        // Chain 1 -> 2 -> 3 -> ... (domain d = index + 1).
+        for i in 0..depth {
+            t.push_linkage(linkage(i as u64 + 1, i as u64 + 2));
+        }
+        // A middle domain dies (its linkages as caller AND callee go
+        // invalid).
+        let dead = DomainId(victim as u64 + 1);
+        let invalidated = t.invalidate_linkages_involving(dead);
+        prop_assert!(invalidated >= 1);
+        // Unwind from the top: at some point we must see call_failed and
+        // land strictly below the dead domain.
+        let mut saw_failure = false;
+        let mut destroyed = false;
+        loop {
+            match t.pop_linkage() {
+                ReturnPath::Return { to, call_failed } => {
+                    saw_failure |= call_failed;
+                    prop_assert_ne!(to.caller_domain, dead, "never return into a dead domain");
+                    if t.call_depth() == 0 {
+                        break;
+                    }
+                }
+                ReturnPath::DestroyThread => {
+                    destroyed = true;
+                    break;
+                }
+            }
+        }
+        // The failure surfaces either as a call-failed exception in some
+        // surviving caller, or — when every linkage involved the dead
+        // domain — as thread destruction.
+        prop_assert!(
+            saw_failure || destroyed,
+            "skipping invalid linkages must raise call-failed or destroy the thread"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Termination collector, randomized topology.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn terminating_any_domain_leaves_no_valid_linkage_involving_it(
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..10),
+        victim in 0usize..5,
+    ) {
+        let kernel = kernel::kernel::Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+        let domains: Vec<_> = (0..5).map(|i| kernel.create_domain(format!("d{i}"))).collect();
+        let thread = kernel.spawn_thread(&domains[0]);
+        for &(from, to) in &edges {
+            if from != to {
+                thread.push_linkage(Linkage {
+                    caller_domain: domains[from].id(),
+                    callee_domain: domains[to].id(),
+                    binding: RawHandle { id: 1, nonce: 1 },
+                    astack_index: 0,
+                    proc_index: 0,
+                    return_sp: 0,
+                    valid: true,
+                });
+            }
+        }
+        kernel.terminate_domain(&domains[victim]);
+        for l in thread.linkages() {
+            if l.caller_domain == domains[victim].id() || l.callee_domain == domains[victim].id() {
+                prop_assert!(!l.valid, "collector must invalidate every involved linkage");
+            }
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Argument stacks (A-stacks) and their linkage records.
+//!
+//! At bind time the kernel "pair-wise allocates in the client and server
+//! domains a number of A-stacks equal to the number of simultaneous calls
+//! allowed. These A-stacks are mapped read-write and shared by both
+//! domains" (Section 3.1). This module implements the bind-time allocation
+//! and the call-time disciplines the paper describes:
+//!
+//! * procedures with equal A-stack sizes share a *class* of A-stacks
+//!   ("Procedures in the same interface having A-stacks of similar size can
+//!   share A-stacks");
+//! * the primary A-stacks of an interface live contiguously in one region
+//!   so call-time validation is "a simple range check" (Section 5.2);
+//! * each class's free list is a LIFO queue guarded by its own lock
+//!   ("Each A-stack queue is guarded by its own lock", Section 3.4);
+//! * every A-stack has a kernel-private linkage slot, locatable from the
+//!   A-stack by arithmetic, whose `in_use` flag enforces that "no other
+//!   thread is currently using that A-stack/linkage pair";
+//! * when the pre-allocated A-stacks run out the client can wait or
+//!   allocate more; late allocations land in non-contiguous *overflow*
+//!   regions that "take slightly more time to validate" (Section 5.2).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use firefly::mem::Region;
+use kernel::kernel::Kernel;
+use kernel::thread::Linkage;
+use kernel::Domain;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::CallError;
+
+/// How A-stack regions are mapped at bind time.
+///
+/// Section 3.5: "While our implementation demonstrates the performance of
+/// this design, the Firefly operating system does not yet support
+/// pair-wise shared memory. Our current implementation places A-stacks in
+/// globally shared virtual memory. Since mapping is done at bind time, an
+/// implementation using pair-wise shared memory would have identical
+/// performance, but greater safety."
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AStackMapping {
+    /// Mapped read-write into exactly the client and server (the design).
+    #[default]
+    Pairwise,
+    /// Mapped into every existing domain, as the paper's actual Firefly
+    /// implementation did — identical performance, weaker safety.
+    GloballyShared,
+}
+
+/// How `acquire` behaves when every A-stack of a class is in use
+/// (Section 5.2: "the client can either wait for one to become available
+/// ... or allocate more").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AStackPolicy {
+    /// Fail immediately with [`CallError::NoAStacks`].
+    Fail,
+    /// Block until one is released or the timeout expires.
+    Wait(Duration),
+    /// Allocate an additional (overflow) A-stack.
+    Grow,
+}
+
+/// One size class of A-stacks within a binding.
+#[derive(Clone, Debug)]
+pub struct AStackClass {
+    /// Bytes per A-stack.
+    pub size: usize,
+    /// Primary (contiguous) A-stacks allocated at bind time.
+    pub primary_count: usize,
+    /// Global index of the first primary A-stack of this class.
+    pub base_index: usize,
+    /// Byte offset of that A-stack within the primary region.
+    pub base_offset: usize,
+}
+
+/// Where one A-stack lives.
+#[derive(Clone)]
+pub struct AStackRef {
+    /// Global index within the binding.
+    pub index: usize,
+    /// Size class.
+    pub class: usize,
+    /// Backing region (primary, or a private overflow region).
+    pub region: Arc<Region>,
+    /// Byte offset of the A-stack within the region.
+    pub offset: usize,
+    /// Bytes available.
+    pub size: usize,
+    /// True if this is an overflow A-stack (slower validation).
+    pub overflow: bool,
+}
+
+/// The kernel-private record paired with each A-stack.
+pub struct LinkageSlot {
+    in_use: AtomicBool,
+    record: Mutex<Option<Linkage>>,
+}
+
+impl LinkageSlot {
+    fn new() -> LinkageSlot {
+        LinkageSlot {
+            in_use: AtomicBool::new(false),
+            record: Mutex::new(None),
+        }
+    }
+
+    /// Atomically claims the slot; fails if another thread holds it.
+    pub fn try_claim(&self) -> bool {
+        self.in_use
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Stores the caller's return linkage.
+    pub fn set_record(&self, l: Linkage) {
+        *self.record.lock() = Some(l);
+    }
+
+    /// Reads the stored linkage.
+    pub fn record(&self) -> Option<Linkage> {
+        *self.record.lock()
+    }
+
+    /// Releases the slot at return time.
+    pub fn release(&self) {
+        *self.record.lock() = None;
+        self.in_use.store(false, Ordering::Release);
+    }
+
+    /// True while a call is using the pair.
+    pub fn is_in_use(&self) -> bool {
+        self.in_use.load(Ordering::Acquire)
+    }
+}
+
+struct ClassQueue {
+    free: Mutex<Vec<usize>>,
+    available: Condvar,
+}
+
+struct OverflowEntry {
+    region: Arc<Region>,
+    class: usize,
+}
+
+/// All A-stacks of one binding.
+pub struct AStackSet {
+    primary: Arc<Region>,
+    classes: Vec<AStackClass>,
+    /// Procedure index → class index.
+    proc_class: Vec<usize>,
+    queues: Vec<ClassQueue>,
+    linkages: Mutex<Vec<Arc<LinkageSlot>>>,
+    overflow: Mutex<Vec<OverflowEntry>>,
+    primary_total: usize,
+}
+
+impl AStackSet {
+    /// Performs the bind-time allocation for an interface: groups
+    /// procedures into size classes, allocates the primary A-stacks
+    /// contiguously in one pairwise-mapped region, and creates a linkage
+    /// slot per A-stack.
+    ///
+    /// `per_proc` gives, per procedure, its A-stack size and simultaneous
+    /// call count (from the PDL).
+    pub fn allocate(
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+        label: &str,
+        per_proc: &[(usize, u32)],
+    ) -> AStackSet {
+        AStackSet::allocate_mapped(
+            kernel,
+            client,
+            server,
+            label,
+            per_proc,
+            AStackMapping::Pairwise,
+        )
+    }
+
+    /// Like [`AStackSet::allocate`] with an explicit mapping mode.
+    pub fn allocate_mapped(
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+        label: &str,
+        per_proc: &[(usize, u32)],
+        mapping: AStackMapping,
+    ) -> AStackSet {
+        // Group by exact size; the shared pool of a class gets the largest
+        // count any member asked for (sharing bounds simultaneous calls by
+        // the total number of shared A-stacks — a soft limit).
+        let mut classes: Vec<AStackClass> = Vec::new();
+        let mut proc_class = Vec::with_capacity(per_proc.len());
+        for &(size, count) in per_proc {
+            match classes.iter().position(|c| c.size == size) {
+                Some(ci) => {
+                    classes[ci].primary_count = classes[ci].primary_count.max(count as usize);
+                    proc_class.push(ci);
+                }
+                None => {
+                    classes.push(AStackClass {
+                        size,
+                        primary_count: count as usize,
+                        base_index: 0,
+                        base_offset: 0,
+                    });
+                    proc_class.push(classes.len() - 1);
+                }
+            }
+        }
+
+        // Lay the classes out contiguously.
+        let mut index = 0;
+        let mut offset = 0;
+        for c in &mut classes {
+            c.base_index = index;
+            c.base_offset = offset;
+            index += c.primary_count;
+            offset += c.primary_count * c.size;
+        }
+        let primary_total = index;
+        let primary = kernel.map_pairwise(label, client, server, offset.max(1));
+        if mapping == AStackMapping::GloballyShared {
+            // The Firefly fallback: every existing domain gets the mapping.
+            for d in kernel.domains() {
+                d.ctx()
+                    .map(primary.id(), firefly::vm::Protection::ReadWrite);
+            }
+        }
+
+        let queues = classes
+            .iter()
+            .map(|c| ClassQueue {
+                free: Mutex::new(
+                    (c.base_index..c.base_index + c.primary_count)
+                        .rev()
+                        .collect(),
+                ),
+                available: Condvar::new(),
+            })
+            .collect();
+        let linkages = (0..primary_total)
+            .map(|_| Arc::new(LinkageSlot::new()))
+            .collect();
+
+        AStackSet {
+            primary,
+            classes,
+            proc_class,
+            queues,
+            linkages: Mutex::new(linkages),
+            overflow: Mutex::new(Vec::new()),
+            primary_total,
+        }
+    }
+
+    /// The size class used by procedure `proc_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the procedure index is out of range; callers validate the
+    /// procedure identifier first.
+    pub fn class_of_proc(&self, proc_index: usize) -> usize {
+        self.proc_class[proc_index]
+    }
+
+    /// The classes of this set.
+    pub fn classes(&self) -> &[AStackClass] {
+        &self.classes
+    }
+
+    /// Total A-stacks (primary + overflow).
+    pub fn total_count(&self) -> usize {
+        self.primary_total + self.overflow.lock().len()
+    }
+
+    /// Number of currently free A-stacks in a class.
+    pub fn free_count(&self, class: usize) -> usize {
+        self.queues[class].free.lock().len()
+    }
+
+    /// Acquires an A-stack of `class` under the given exhaustion policy.
+    ///
+    /// `grow` allocations need the kernel and the two domains to map the
+    /// new overflow region pairwise.
+    pub fn acquire(
+        &self,
+        class: usize,
+        policy: AStackPolicy,
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+    ) -> Result<usize, CallError> {
+        let queue = &self.queues[class];
+        let mut free = queue.free.lock();
+        if let Some(idx) = free.pop() {
+            return Ok(idx);
+        }
+        match policy {
+            AStackPolicy::Fail => Err(CallError::NoAStacks),
+            AStackPolicy::Wait(timeout) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    if let Some(idx) = free.pop() {
+                        return Ok(idx);
+                    }
+                    if queue.available.wait_until(&mut free, deadline).timed_out() {
+                        return free.pop().ok_or(CallError::NoAStacks);
+                    }
+                }
+            }
+            AStackPolicy::Grow => {
+                drop(free);
+                Ok(self.grow(class, kernel, client, server))
+            }
+        }
+    }
+
+    /// Allocates one overflow A-stack for `class` and returns its index.
+    ///
+    /// "When further allocation is necessary, it is unlikely that space
+    /// contiguous to the original A-stacks will be found, but other space
+    /// can be used" (Section 5.2).
+    pub fn grow(&self, class: usize, kernel: &Kernel, client: &Domain, server: &Domain) -> usize {
+        let size = self.classes[class].size.max(1);
+        let region = kernel.map_pairwise("astack-overflow", client, server, size);
+        let mut overflow = self.overflow.lock();
+        let index = self.primary_total + overflow.len();
+        overflow.push(OverflowEntry { region, class });
+        self.linkages.lock().push(Arc::new(LinkageSlot::new()));
+        index
+    }
+
+    /// Releases an A-stack back to its class's LIFO queue.
+    pub fn release(&self, index: usize) {
+        if let Some(r) = self.lookup(index) {
+            let queue = &self.queues[r.class];
+            queue.free.lock().push(index);
+            queue.available.notify_one();
+        }
+    }
+
+    /// Resolves an index to its location. Returns `None` for an index that
+    /// names no A-stack of this binding.
+    pub fn lookup(&self, index: usize) -> Option<AStackRef> {
+        if index < self.primary_total {
+            // The contiguous layout makes this a range check plus
+            // arithmetic — the fast path.
+            let class_idx = self
+                .classes
+                .iter()
+                .position(|c| index >= c.base_index && index < c.base_index + c.primary_count)?;
+            let c = &self.classes[class_idx];
+            Some(AStackRef {
+                index,
+                class: class_idx,
+                region: Arc::clone(&self.primary),
+                offset: c.base_offset + (index - c.base_index) * c.size,
+                size: c.size,
+                overflow: false,
+            })
+        } else {
+            let overflow = self.overflow.lock();
+            let e = overflow.get(index - self.primary_total)?;
+            Some(AStackRef {
+                index,
+                class: e.class,
+                region: Arc::clone(&e.region),
+                offset: 0,
+                size: e.region.len(),
+                overflow: true,
+            })
+        }
+    }
+
+    /// Call-time validation: the index must name an A-stack of this
+    /// binding whose class matches the procedure's ("a simple range check
+    /// guarantees their integrity"). Overflow A-stacks are flagged so the
+    /// caller can charge the slower validation path.
+    pub fn validate(&self, index: usize, expected_class: usize) -> Result<AStackRef, CallError> {
+        let r = self.lookup(index).ok_or(CallError::BadAStack)?;
+        if r.class != expected_class {
+            return Err(CallError::BadAStack);
+        }
+        Ok(r)
+    }
+
+    /// The linkage slot paired with A-stack `index` — "the correct linkage
+    /// record can be quickly located given any address in the corresponding
+    /// A-stack".
+    pub fn linkage(&self, index: usize) -> Option<Arc<LinkageSlot>> {
+        self.linkages.lock().get(index).cloned()
+    }
+
+    /// The primary region (for tests asserting pairwise protection).
+    pub fn primary_region(&self) -> &Arc<Region> {
+        &self.primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly::cost::CostModel;
+    use firefly::cpu::Machine;
+
+    fn setup() -> (Arc<Kernel>, Arc<Domain>, Arc<Domain>) {
+        let k = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+        let c = k.create_domain("client");
+        let s = k.create_domain("server");
+        (k, c, s)
+    }
+
+    fn set(k: &Kernel, c: &Domain, s: &Domain, per_proc: &[(usize, u32)]) -> AStackSet {
+        AStackSet::allocate(k, c, s, "astacks", per_proc)
+    }
+
+    #[test]
+    fn same_sized_procedures_share_a_class() {
+        let (k, c, s) = setup();
+        // Two 12-byte procedures and one 256-byte procedure.
+        let set = set(&k, &c, &s, &[(12, 5), (12, 3), (256, 5)]);
+        assert_eq!(set.classes().len(), 2);
+        assert_eq!(set.class_of_proc(0), set.class_of_proc(1));
+        assert_ne!(set.class_of_proc(0), set.class_of_proc(2));
+        // The shared class keeps the larger of the two counts.
+        assert_eq!(set.classes()[0].primary_count, 5);
+        assert_eq!(set.total_count(), 10);
+    }
+
+    #[test]
+    fn layout_is_contiguous_and_disjoint() {
+        let (k, c, s) = setup();
+        let set = set(&k, &c, &s, &[(16, 3), (64, 2)]);
+        let refs: Vec<AStackRef> = (0..5).map(|i| set.lookup(i).unwrap()).collect();
+        for w in refs.windows(2) {
+            assert!(w[0].offset + w[0].size <= w[1].offset + w[1].size);
+            assert!(
+                w[0].offset + w[0].size <= w[1].offset || w[0].class == w[1].class,
+                "A-stacks must not overlap"
+            );
+        }
+        assert_eq!(set.primary_region().len(), 3 * 16 + 2 * 64);
+    }
+
+    #[test]
+    fn acquire_is_lifo() {
+        let (k, c, s) = setup();
+        let set = set(&k, &c, &s, &[(16, 3)]);
+        let a = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        set.release(a);
+        let b = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        assert_eq!(a, b, "A-stacks are LIFO managed by the client");
+    }
+
+    #[test]
+    fn exhaustion_policies() {
+        let (k, c, s) = setup();
+        let set = set(&k, &c, &s, &[(16, 2)]);
+        let _a = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        let _b = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        assert!(matches!(
+            set.acquire(0, AStackPolicy::Fail, &k, &c, &s),
+            Err(CallError::NoAStacks)
+        ));
+        assert!(matches!(
+            set.acquire(0, AStackPolicy::Wait(Duration::from_millis(10)), &k, &c, &s),
+            Err(CallError::NoAStacks)
+        ));
+        // Growing allocates an overflow A-stack with slower validation.
+        let g = set.acquire(0, AStackPolicy::Grow, &k, &c, &s).unwrap();
+        let r = set.validate(g, 0).unwrap();
+        assert!(r.overflow);
+        assert_eq!(set.total_count(), 3);
+    }
+
+    #[test]
+    fn waiting_client_wakes_on_release() {
+        let (k, c, s) = setup();
+        let set = Arc::new(set(&k, &c, &s, &[(16, 1)]));
+        let held = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        let waiter = {
+            let (set, k, c, s) = (
+                Arc::clone(&set),
+                Arc::clone(&k),
+                Arc::clone(&c),
+                Arc::clone(&s),
+            );
+            std::thread::spawn(move || {
+                set.acquire(0, AStackPolicy::Wait(Duration::from_secs(5)), &k, &c, &s)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        set.release(held);
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got, held);
+    }
+
+    #[test]
+    fn validation_rejects_foreign_and_mismatched_stacks() {
+        let (k, c, s) = setup();
+        let set = set(&k, &c, &s, &[(16, 2), (64, 2)]);
+        assert!(matches!(set.validate(99, 0), Err(CallError::BadAStack)));
+        // Index 2 belongs to the 64-byte class, not the 16-byte class.
+        assert!(matches!(set.validate(2, 0), Err(CallError::BadAStack)));
+        assert!(set.validate(2, 1).is_ok());
+    }
+
+    #[test]
+    fn linkage_slots_exclude_concurrent_use() {
+        let (k, c, s) = setup();
+        let set = set(&k, &c, &s, &[(16, 1)]);
+        let slot = set.linkage(0).unwrap();
+        assert!(slot.try_claim());
+        assert!(!slot.try_claim(), "second claim must fail while in use");
+        assert!(slot.is_in_use());
+        slot.release();
+        assert!(slot.try_claim());
+    }
+
+    #[test]
+    fn third_party_domain_cannot_touch_astacks() {
+        let (k, c, s) = setup();
+        let third = k.create_domain("third");
+        let set = set(&k, &c, &s, &[(16, 1)]);
+        let region = set.primary_region();
+        assert!(c.ctx().check(region.id(), true, false).is_ok());
+        assert!(s.ctx().check(region.id(), true, false).is_ok());
+        assert!(third.ctx().check(region.id(), false, false).is_err());
+    }
+}

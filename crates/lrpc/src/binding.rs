@@ -1,0 +1,399 @@
+//! Binding: clerks, Binding Objects and the import protocol.
+//!
+//! "A server module exports an interface through a clerk in the LRPC
+//! run-time library included in every domain. The clerk registers the
+//! interface with a name server and awaits import requests from clients.
+//! ... The clerk enables the binding by replying to the kernel with a
+//! procedure descriptor list (PDL). ... After the binding has completed,
+//! the kernel returns to the client a Binding Object" (Section 3.1).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use firefly::time::Nanos;
+use idl::stubgen::{CompiledInterface, ProcedureDescriptor};
+use idl::wire::Value;
+use kernel::objects::RawHandle;
+use kernel::thread::Thread;
+use kernel::Domain;
+
+use crate::astack::AStackSet;
+use crate::error::CallError;
+use crate::runtime::LrpcRuntime;
+use crate::touch::TouchPlan;
+
+/// What a server procedure hands back.
+#[derive(Clone, Debug, Default)]
+pub struct Reply {
+    /// The return value (must be present iff the procedure declares one).
+    pub ret: Option<Value>,
+    /// Values for `out`/`inout` parameters, as `(param_index, value)`.
+    pub outs: Vec<(usize, Value)>,
+}
+
+impl Reply {
+    /// An empty reply (procedures returning nothing).
+    pub fn none() -> Reply {
+        Reply::default()
+    }
+
+    /// A reply carrying just a return value.
+    pub fn value(v: Value) -> Reply {
+        Reply {
+            ret: Some(v),
+            outs: Vec::new(),
+        }
+    }
+
+    /// Adds an out-parameter value.
+    pub fn with_out(mut self, param: usize, v: Value) -> Reply {
+        self.outs.push((param, v));
+        self
+    }
+}
+
+/// Context handed to a server procedure while it runs in the server's
+/// domain on the client's thread.
+pub struct ServerCtx {
+    /// The runtime (for nested out-calls).
+    pub rt: Arc<LrpcRuntime>,
+    /// The (migrated) client thread executing the procedure.
+    pub thread: Arc<Thread>,
+    /// The server domain.
+    pub domain: Arc<Domain>,
+    /// The CPU the call is executing on (after any processor exchange).
+    pub cpu_id: usize,
+}
+
+impl ServerCtx {
+    /// Charges server-procedure work to the executing CPU.
+    pub fn charge(&self, work: Nanos) {
+        self.rt.kernel().machine().cpu(self.cpu_id).charge(work);
+    }
+}
+
+/// A server procedure body.
+pub type Handler = Box<dyn Fn(&ServerCtx, &[Value]) -> Result<Reply, CallError> + Send + Sync>;
+
+/// The server-side clerk for one exported interface.
+pub struct Clerk {
+    interface: Arc<CompiledInterface>,
+    domain: Arc<Domain>,
+    handlers: Vec<Handler>,
+}
+
+impl Clerk {
+    /// Creates a clerk; used by [`LrpcRuntime::export`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler count does not match the interface's procedure
+    /// count — an export-time programming error, caught before any client
+    /// can bind.
+    pub fn new(
+        interface: Arc<CompiledInterface>,
+        domain: Arc<Domain>,
+        handlers: Vec<Handler>,
+    ) -> Clerk {
+        assert_eq!(
+            interface.procs.len(),
+            handlers.len(),
+            "interface `{}` declares {} procedures but {} handlers were supplied",
+            interface.name,
+            interface.procs.len(),
+            handlers.len()
+        );
+        Clerk {
+            interface,
+            domain,
+            handlers,
+        }
+    }
+
+    /// The compiled interface this clerk serves.
+    pub fn interface(&self) -> &Arc<CompiledInterface> {
+        &self.interface
+    }
+
+    /// The server domain.
+    pub fn domain(&self) -> &Arc<Domain> {
+        &self.domain
+    }
+
+    /// The clerk's reply to the kernel during binding: the PDL.
+    pub fn pdl(&self) -> Vec<ProcedureDescriptor> {
+        self.interface.pdl()
+    }
+
+    /// Invokes handler `index`.
+    ///
+    /// A panicking server procedure is converted into a
+    /// [`CallError::ServerFault`]: protection domains exist precisely so a
+    /// server bug ends in "failure isolation", not in tearing down the
+    /// client ("an unhandled exception" is one of Section 5.3's
+    /// termination triggers; here the call fails and the caller decides).
+    pub fn dispatch(
+        &self,
+        index: usize,
+        ctx: &ServerCtx,
+        args: &[Value],
+    ) -> Result<Reply, CallError> {
+        let h = self
+            .handlers
+            .get(index)
+            .ok_or(CallError::BadProcedure { index })?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(ctx, args))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "server procedure panicked".to_string());
+                Err(CallError::ServerFault(format!(
+                    "unhandled exception: {msg}"
+                )))
+            }
+        }
+    }
+}
+
+/// Running statistics of one binding.
+#[derive(Debug, Default)]
+pub struct BindingStats {
+    calls: AtomicU64,
+    failures: AtomicU64,
+    exchanges: AtomicU64,
+    remote_calls: AtomicU64,
+}
+
+impl BindingStats {
+    /// Completed calls through the binding.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls that raised an exception.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Processor exchanges performed (call and return direction combined).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges.load(Ordering::Relaxed)
+    }
+
+    /// Calls that took the remote (conventional RPC) branch.
+    pub fn remote_calls(&self) -> u64 {
+        self.remote_calls.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_call(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_exchanges(&self, n: u64) {
+        self.exchanges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_remote(&self) {
+        self.remote_calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The kernel-side state of one binding.
+pub struct BindingState {
+    /// The interface bound to.
+    pub interface: Arc<CompiledInterface>,
+    /// The importing (client) domain.
+    pub client: Arc<Domain>,
+    /// The exporting (server) domain.
+    pub server: Arc<Domain>,
+    /// The server's clerk.
+    pub clerk: Arc<Clerk>,
+    /// The pairwise-allocated A-stacks and their linkage slots.
+    pub astacks: AStackSet,
+    /// The binding's TLB working-set plan.
+    pub touch: TouchPlan,
+    /// Set when either domain terminates; "this prevents any more
+    /// out-calls from the domain, and prevents other domains from making
+    /// any more in-calls" (Section 5.3).
+    revoked: AtomicBool,
+    /// "If the call is to a truly remote server (indicated by a bit in the
+    /// Binding Object), then a branch is taken to a more conventional RPC
+    /// stub" (Section 5.1).
+    pub remote: bool,
+    /// Running call statistics.
+    pub stats: BindingStats,
+}
+
+impl BindingState {
+    /// Creates binding state; used by [`LrpcRuntime::import`].
+    pub fn new(
+        interface: Arc<CompiledInterface>,
+        client: Arc<Domain>,
+        server: Arc<Domain>,
+        clerk: Arc<Clerk>,
+        astacks: AStackSet,
+        touch: TouchPlan,
+        remote: bool,
+    ) -> BindingState {
+        BindingState {
+            interface,
+            client,
+            server,
+            clerk,
+            astacks,
+            touch,
+            revoked: AtomicBool::new(false),
+            remote,
+            stats: BindingStats::default(),
+        }
+    }
+
+    /// True once the binding has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::Acquire)
+    }
+
+    /// Revokes the binding.
+    pub fn revoke(&self) {
+        self.revoked.store(true, Ordering::Release);
+    }
+
+    /// True if this binding involves `domain` on either side.
+    pub fn involves(&self, domain: &Domain) -> bool {
+        self.client.id() == domain.id() || self.server.id() == domain.id()
+    }
+}
+
+/// The client's handle on an imported interface.
+///
+/// Holds the kernel-validated Binding Object ([`RawHandle`]) plus the
+/// client-side caches handed back at bind time (the A-stack lists).
+pub struct Binding {
+    rt: Arc<LrpcRuntime>,
+    handle: RawHandle,
+    state: Arc<BindingState>,
+}
+
+impl Binding {
+    /// Creates the client-side binding; used by [`LrpcRuntime::import`].
+    pub(crate) fn new(
+        rt: Arc<LrpcRuntime>,
+        handle: RawHandle,
+        state: Arc<BindingState>,
+    ) -> Binding {
+        Binding { rt, handle, state }
+    }
+
+    /// The Binding Object presented to the kernel at each call.
+    pub fn handle(&self) -> RawHandle {
+        self.handle
+    }
+
+    /// The bound interface.
+    pub fn interface(&self) -> &Arc<CompiledInterface> {
+        &self.state.interface
+    }
+
+    /// The binding's internal state (A-stack lists etc.).
+    pub fn state(&self) -> &Arc<BindingState> {
+        &self.state
+    }
+
+    /// The runtime this binding belongs to.
+    pub fn runtime(&self) -> &Arc<LrpcRuntime> {
+        &self.rt
+    }
+
+    /// Resolves a procedure name to its identifier.
+    pub fn proc_index(&self, name: &str) -> Result<usize, CallError> {
+        self.state
+            .interface
+            .procs
+            .iter()
+            .position(|p| p.name == name)
+            .ok_or(CallError::BadProcedure { index: usize::MAX })
+    }
+
+    /// Makes an LRPC through this binding on the given CPU and thread.
+    ///
+    /// This is the client stub entry point: argument values are pushed on
+    /// an A-stack, the kernel validates the Binding Object and transfers
+    /// the thread into the server domain, the server procedure runs, and
+    /// results return through the A-stack.
+    pub fn call(
+        &self,
+        cpu_id: usize,
+        thread: &Arc<Thread>,
+        proc: &str,
+        args: &[Value],
+    ) -> Result<crate::call::CallOutcome, CallError> {
+        let index = self.proc_index(proc)?;
+        self.call_indexed(cpu_id, thread, index, args)
+    }
+
+    /// Like [`Binding::call`], addressing the procedure by identifier.
+    pub fn call_indexed(
+        &self,
+        cpu_id: usize,
+        thread: &Arc<Thread>,
+        proc_index: usize,
+        args: &[Value],
+    ) -> Result<crate::call::CallOutcome, CallError> {
+        let out = crate::call::lrpc_call(
+            &self.rt,
+            self.handle,
+            &self.state,
+            cpu_id,
+            thread,
+            proc_index,
+            args,
+            true,
+        );
+        if out.is_err() {
+            self.state.stats.note_failure();
+        }
+        out
+    }
+
+    /// Like [`Binding::call_indexed`] but without metering, for tight
+    /// throughput loops.
+    pub fn call_unmetered(
+        &self,
+        cpu_id: usize,
+        thread: &Arc<Thread>,
+        proc_index: usize,
+        args: &[Value],
+    ) -> Result<crate::call::CallOutcome, CallError> {
+        crate::call::lrpc_call(
+            &self.rt,
+            self.handle,
+            &self.state,
+            cpu_id,
+            thread,
+            proc_index,
+            args,
+            false,
+        )
+    }
+
+    /// A copy of this binding presenting a *forged* Binding Object (the
+    /// nonce is perturbed). Exists so tests and the experiment harness can
+    /// demonstrate that "the kernel can detect a forged Binding Object".
+    pub fn forged(&self) -> Binding {
+        Binding {
+            rt: Arc::clone(&self.rt),
+            handle: RawHandle {
+                id: self.handle.id,
+                nonce: self.handle.nonce ^ 0xDEAD_BEEF,
+            },
+            state: Arc::clone(&self.state),
+        }
+    }
+}

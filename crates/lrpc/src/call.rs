@@ -1,0 +1,684 @@
+//! The LRPC call and return path (Section 3.2).
+//!
+//! "A client makes an LRPC by calling into its stub procedure which is
+//! responsible for initiating the domain transfer. ... At call time, the
+//! stub takes an A-stack off the queue, pushes the procedure's arguments
+//! onto the A-stack, puts the address of the A-stack, the Binding Object
+//! and a procedure identifier into registers, and traps to the kernel."
+//!
+//! The kernel then, in the context of the client's thread: verifies the
+//! Binding and procedure identifier; verifies the A-stack and locates the
+//! corresponding linkage; ensures no other thread is using that
+//! A-stack/linkage pair; records the caller's return address; pushes the
+//! linkage onto the thread's linkage stack; finds an execution stack in the
+//! server's domain; switches the virtual-memory context (or exchanges
+//! processors with one idling in the server's context, Section 3.4); and
+//! performs an upcall into the server's stub.
+//!
+//! Every step here is *functional* — real validation, real byte copies
+//! through the pairwise-shared A-stack, real linkage-stack manipulation —
+//! and each step also charges its calibrated cost to the executing
+//! simulated CPU, so the virtual clock reproduces the paper's latencies.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use firefly::cpu::Cpu;
+use firefly::error::MemFault;
+use firefly::mem::{PageId, Region};
+use firefly::meter::{Meter, Phase};
+use firefly::time::Nanos;
+use firefly::vm::VmContext;
+use idl::copyops::{CopyLog, CopyOp};
+use idl::stubvm::{needs_server_copy, Frame, OobStore, StubError, StubVm};
+use idl::wire::Value;
+use kernel::objects::RawHandle;
+use kernel::thread::{Linkage, ReturnPath, Thread};
+
+use crate::astack::LinkageSlot;
+use crate::binding::{BindingState, ServerCtx};
+use crate::error::CallError;
+use crate::estack::EStackPool;
+use crate::runtime::LrpcRuntime;
+
+/// Extra validation time for an A-stack outside the primary contiguous
+/// region (Section 5.2: "A-stacks in this space ... will take slightly
+/// more time to validate during a call").
+const OVERFLOW_VALIDATION_COST: Nanos = Nanos::from_micros(3);
+
+/// One-time cost of allocating a fresh E-stack out of the server domain
+/// (the lazy-association slow path).
+const ESTACK_ALLOC_COST: Nanos = Nanos::from_micros(10);
+
+/// Cost of mapping and unmapping a per-call out-of-band segment
+/// ("Handling unexpectedly large parameters is complicated and relatively
+/// expensive, but infrequent", Section 5.2).
+const OOB_SEGMENT_COST: Nanos = Nanos::from_micros(20);
+
+/// Name of the per-class A-stack queue lock, for lock-time attribution.
+pub const ASTACK_QUEUE_LOCK: &str = "astack-queue";
+
+/// Everything a completed call reports.
+#[derive(Debug)]
+pub struct CallOutcome {
+    /// The procedure's return value, if declared.
+    pub ret: Option<Value>,
+    /// Out/inout parameter results as `(param_index, value)`.
+    pub outs: Vec<(usize, Value)>,
+    /// Virtual time the call took on the calling thread.
+    pub elapsed: Nanos,
+    /// Phase-by-phase time breakdown (enabled calls only).
+    pub meter: Meter,
+    /// The copy operations performed (Table 3).
+    pub copies: CopyLog,
+    /// True if the call-direction transfer used a processor exchange.
+    pub exchanged_on_call: bool,
+    /// True if the return-direction transfer used a processor exchange.
+    pub exchanged_on_return: bool,
+    /// The CPU the thread ended on (differs from the start CPU after an
+    /// odd number of exchanges).
+    pub end_cpu: usize,
+}
+
+/// A stub-VM frame backed by a slice of a (pairwise-shared) A-stack
+/// region, with protection checks and TLB page touches.
+struct AStackFrame<'a> {
+    cpu: &'a Cpu,
+    ctx: &'a VmContext,
+    region: &'a Region,
+    base: usize,
+    len: usize,
+    misses: Cell<u64>,
+}
+
+impl<'a> AStackFrame<'a> {
+    fn new(cpu: &'a Cpu, ctx: &'a VmContext, region: &'a Region, base: usize, len: usize) -> Self {
+        AStackFrame {
+            cpu,
+            ctx,
+            region,
+            base,
+            len,
+            misses: Cell::new(0),
+        }
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    fn touch(&self, offset: usize, len: usize) {
+        let mut scratch = Meter::disabled();
+        let n = self.cpu.touch_pages(
+            self.region.pages_for(self.base + offset, len.max(1)),
+            &mut scratch,
+        );
+        self.misses.set(self.misses.get() + n);
+    }
+}
+
+impl Frame for AStackFrame<'_> {
+    fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), StubError> {
+        if offset + data.len() > self.len {
+            return Err(StubError::Frame(MemFault::OutOfRange {
+                region: self.region.id(),
+                offset: self.base + offset,
+                len: data.len(),
+            }));
+        }
+        self.ctx
+            .check(self.region.id(), true, false)
+            .map_err(StubError::Frame)?;
+        self.touch(offset, data.len());
+        self.region
+            .write_raw(self.base + offset, data)
+            .map_err(StubError::Frame)
+    }
+
+    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError> {
+        if offset + len > self.len {
+            return Err(StubError::Frame(MemFault::OutOfRange {
+                region: self.region.id(),
+                offset: self.base + offset,
+                len,
+            }));
+        }
+        self.ctx
+            .check(self.region.id(), false, false)
+            .map_err(StubError::Frame)?;
+        self.touch(offset, len);
+        self.region
+            .read_vec(self.base + offset, len)
+            .map_err(StubError::Frame)
+    }
+}
+
+fn charge(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos) {
+    cpu.charge(amount);
+    meter.record(phase, amount);
+}
+
+fn charge_locked(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos, lock: &'static str) {
+    cpu.charge(amount);
+    meter.record_locked(phase, amount, Some(lock));
+}
+
+fn touch_set(cpu: &Cpu, pages: Vec<PageId>, meter: &mut Meter) {
+    cpu.touch_pages(pages, meter);
+}
+
+/// Cleans up call resources if the path errors after acquisition.
+struct CallGuard<'a> {
+    state: &'a Arc<BindingState>,
+    thread: &'a Arc<Thread>,
+    astack: Option<usize>,
+    slot: Option<Arc<LinkageSlot>>,
+    pool: Option<(Arc<EStackPool>, u64)>,
+    linkage_pushed: bool,
+}
+
+impl Drop for CallGuard<'_> {
+    fn drop(&mut self) {
+        if self.linkage_pushed {
+            let _ = self.thread.pop_linkage();
+        }
+        if let Some(slot) = self.slot.take() {
+            slot.release();
+        }
+        if let Some((pool, key)) = self.pool.take() {
+            pool.end_call(key);
+        }
+        if let Some(idx) = self.astack.take() {
+            self.state.astacks.release(idx);
+        }
+    }
+}
+
+impl CallGuard<'_> {
+    fn disarm(&mut self) {
+        self.astack = None;
+        self.slot = None;
+        self.pool = None;
+        self.linkage_pushed = false;
+    }
+}
+
+/// The full LRPC call path. Returns the outcome or the raised exception.
+#[expect(clippy::too_many_arguments)]
+pub(crate) fn lrpc_call(
+    rt: &Arc<LrpcRuntime>,
+    handle: RawHandle,
+    client_state: &Arc<BindingState>,
+    cpu_start: usize,
+    thread: &Arc<Thread>,
+    proc_index: usize,
+    args: &[Value],
+    metered: bool,
+) -> Result<CallOutcome, CallError> {
+    let machine = Arc::clone(rt.kernel().machine());
+    let cost = *machine.cost();
+    let mut meter = if metered {
+        Meter::enabled()
+    } else {
+        Meter::disabled()
+    };
+    let mut copies = CopyLog::new();
+    let mut cpu = machine.cpu(cpu_start);
+    let start = cpu.now();
+
+    // The formal procedure call into the client stub — the only procedure
+    // call a simple LRPC needs on the client side.
+    charge(
+        cpu,
+        &mut meter,
+        Phase::ProcedureCall,
+        cost.hw.procedure_call,
+    );
+
+    // "Deciding whether a call is cross-domain or cross-machine is made at
+    // the earliest possible moment — the first instruction of the stub."
+    if client_state.remote {
+        let transport = rt.remote_transport().ok_or(CallError::NoRemoteTransport)?;
+        client_state.stats.note_remote();
+        let (ret, outs) = transport.call(
+            &client_state.interface.name,
+            proc_index,
+            args,
+            cpu,
+            &mut meter,
+        )?;
+        client_state.stats.note_call();
+        return Ok(CallOutcome {
+            ret,
+            outs,
+            elapsed: cpu.now() - start,
+            meter,
+            copies,
+            exchanged_on_call: false,
+            exchanged_on_return: false,
+            end_cpu: cpu.id(),
+        });
+    }
+
+    let proc = client_state
+        .interface
+        .procs
+        .get(proc_index)
+        .ok_or(CallError::BadProcedure { index: proc_index })?;
+    let client_ctx = client_state.client.ctx();
+    let server_ctx = client_state.server.ctx();
+
+    // First call on this CPU: the client's context must be loaded.
+    cpu.switch_context(client_ctx.id(), &cost, &mut meter);
+
+    // ---- Client stub, call half -------------------------------------
+    charge(cpu, &mut meter, Phase::ClientStub, cost.client_stub_call);
+    touch_set(cpu, client_state.touch.client_call(), &mut meter);
+
+    let class = client_state.astacks.class_of_proc(proc_index);
+    let astack_idx = client_state.astacks.acquire(
+        class,
+        rt.config().astack_policy,
+        rt.kernel(),
+        &client_state.client,
+        &client_state.server,
+    )?;
+    charge_locked(
+        cpu,
+        &mut meter,
+        Phase::QueueOp,
+        cost.astack_queue_op,
+        ASTACK_QUEUE_LOCK,
+    );
+
+    let mut guard = CallGuard {
+        state: client_state,
+        thread,
+        astack: Some(astack_idx),
+        slot: None,
+        pool: None,
+        linkage_pushed: false,
+    };
+
+    let aref = client_state
+        .astacks
+        .lookup(astack_idx)
+        .ok_or(CallError::BadAStack)?;
+    let in_bytes: usize = proc
+        .layout
+        .params
+        .iter()
+        .zip(&proc.def.params)
+        .filter(|(_, p)| p.dir.is_in())
+        .map(|(s, _)| s.size)
+        .sum();
+    let out_bytes: usize = proc
+        .layout
+        .params
+        .iter()
+        .zip(&proc.def.params)
+        .filter(|(_, p)| p.dir.is_out())
+        .map(|(s, _)| s.size)
+        .sum::<usize>()
+        + proc.layout.ret.as_ref().map_or(0, |s| s.size);
+
+    // The stub's queue management and register setup touch the A-stack.
+    touch_set(
+        cpu,
+        aref.region.pages_for(aref.offset, 1).collect(),
+        &mut meter,
+    );
+
+    // Push the arguments onto the shared A-stack (copy A of Table 3).
+    let mut oob = OobStore::new();
+    {
+        let mut frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(&cost, cpu, &mut meter);
+        vm.client_push_args(proc, args, &mut frame, &mut oob)?;
+        let misses = frame.misses();
+        meter.add_tlb_misses(misses);
+    }
+    for (slot, p) in proc.layout.params.iter().zip(&proc.def.params) {
+        if p.dir.is_in() {
+            copies.record(CopyOp::A, slot.size);
+        }
+    }
+
+    // Oversized/complex values travel in a real out-of-band memory
+    // segment, pairwise-mapped like the A-stacks, rather than in host
+    // memory: write the marshaled segments into it and reread them on the
+    // server side under the server's protection context.
+    let oob_region = if oob.is_empty() {
+        None
+    } else {
+        charge(cpu, &mut meter, Phase::Other, OOB_SEGMENT_COST);
+        let total: usize = oob.iter().map(|s| s.len() + 8).sum();
+        let region = rt.kernel().map_pairwise(
+            "oob-segment",
+            &client_state.client,
+            &client_state.server,
+            total.max(8),
+        );
+        let mut off = 0usize;
+        let mut scratch = Meter::disabled();
+        for seg in &oob {
+            let mut hdr = [0u8; 8];
+            hdr[..4].copy_from_slice(&(seg.len() as u32).to_le_bytes());
+            region.write_raw(off, &hdr).map_err(CallError::Mem)?;
+            region.write_raw(off + 8, seg).map_err(CallError::Mem)?;
+            cpu.touch_pages(region.pages_for(off, seg.len() + 8), &mut scratch);
+            off += seg.len() + 8;
+        }
+        Some(region)
+    };
+
+    // Trap to the kernel.
+    rt.kernel().trap(cpu, &mut meter);
+
+    // ---- Kernel, call path ------------------------------------------
+    charge(
+        cpu,
+        &mut meter,
+        Phase::KernelTransfer,
+        cost.kernel_transfer_call,
+    );
+    touch_set(cpu, client_state.touch.kernel_call(), &mut meter);
+
+    // Verify the Binding Object and procedure identifier.
+    let state = rt.validate_binding(handle)?;
+    if !state.server.is_active() || !state.client.is_active() {
+        return Err(CallError::DomainDead);
+    }
+    if proc_index >= state.interface.procs.len() {
+        return Err(CallError::BadProcedure { index: proc_index });
+    }
+    // Verify the A-stack and locate the corresponding linkage.
+    let aref = state.astacks.validate(astack_idx, class)?;
+    if aref.overflow {
+        charge(cpu, &mut meter, Phase::Validation, OVERFLOW_VALIDATION_COST);
+    }
+    let slot = state
+        .astacks
+        .linkage(astack_idx)
+        .ok_or(CallError::BadAStack)?;
+    // Ensure no other thread is using the A-stack/linkage pair.
+    if !slot.try_claim() {
+        return Err(CallError::AStackBusy);
+    }
+    guard.slot = Some(Arc::clone(&slot));
+
+    // Record the caller's return address and stack pointer in the linkage
+    // and push it onto the thread's linkage stack.
+    let linkage = Linkage {
+        caller_domain: state.client.id(),
+        callee_domain: state.server.id(),
+        binding: handle,
+        astack_index: astack_idx,
+        proc_index,
+        return_sp: thread.user_sp(),
+        valid: true,
+    };
+    slot.set_record(linkage);
+    thread.push_linkage(linkage);
+    guard.linkage_pushed = true;
+
+    // Find an execution stack in the server's domain (lazy association)
+    // and update the thread's user stack pointer to run off of it. The
+    // association key is the A-stack's global identity (region + index),
+    // so distinct bindings never collide.
+    let astack_key = (aref.region.id().0 << 24) | astack_idx as u64;
+    let pool = rt.estack_pool(&state.server);
+    let (estack, fresh) = pool.get_for_call(rt.kernel(), astack_key);
+    guard.pool = Some((Arc::clone(&pool), astack_key));
+    if fresh {
+        charge(cpu, &mut meter, Phase::Other, ESTACK_ALLOC_COST);
+    }
+    thread.set_user_sp(estack.id().0 << 32);
+    // The kernel primes the E-stack with the initial call frame expected
+    // by the server's procedure, "enabling the server stub to branch to
+    // the first instruction of the procedure".
+    let mut frame_header = [0u8; 16];
+    frame_header[..4].copy_from_slice(&(proc_index as u32).to_le_bytes());
+    frame_header[4..8].copy_from_slice(&(astack_idx as u32).to_le_bytes());
+    frame_header[8..].copy_from_slice(&0xF1FE_F1FE_CA11_F4A3u64.to_le_bytes());
+    estack.write_raw(0, &frame_header).map_err(CallError::Mem)?;
+
+    // ---- Transfer into the server domain -----------------------------
+    let caching = rt.config().domain_caching;
+    let mut exchanged_on_call = false;
+    if caching {
+        if let Some(idle) = machine.claim_idle_cpu_in(server_ctx.id()) {
+            // Exchange processors: the calling thread continues on the CPU
+            // where the server's context is already loaded; the idling
+            // thread keeps idling on the client's original processor.
+            let target = machine.cpu(idle);
+            target.advance_to(cpu.now());
+            cpu.set_idle_in(Some(client_ctx.id()));
+            cpu = target;
+            charge(
+                cpu,
+                &mut meter,
+                Phase::ProcessorExchange,
+                cost.processor_exchange,
+            );
+            state.server.note_idle_hit();
+            exchanged_on_call = true;
+        } else {
+            state.server.note_idle_miss();
+            cpu.switch_context(server_ctx.id(), &cost, &mut meter);
+        }
+    } else {
+        cpu.switch_context(server_ctx.id(), &cost, &mut meter);
+    }
+
+    // ---- Upcall into the server stub ---------------------------------
+    charge(cpu, &mut meter, Phase::ServerStub, cost.server_stub_entry);
+    touch_set(cpu, state.touch.server_side(), &mut meter);
+    if exchanged_on_call && in_bytes > 0 {
+        // The arguments were written into the other processor's cache.
+        charge(
+            cpu,
+            &mut meter,
+            Phase::ArgCopy,
+            cost.remote_access_per_byte * in_bytes as u64,
+        );
+    }
+
+    touch_set(
+        cpu,
+        aref.region.pages_for(aref.offset, 1).collect(),
+        &mut meter,
+    );
+    // Rebuild the out-of-band store from the shared segment, with the
+    // server's protection context enforced.
+    let server_oob: OobStore = match &oob_region {
+        None => OobStore::new(),
+        Some(region) => {
+            server_ctx
+                .check(region.id(), false, false)
+                .map_err(CallError::Mem)?;
+            let mut segs = OobStore::new();
+            let mut off = 0usize;
+            let mut scratch = Meter::disabled();
+            for _ in 0..oob.len() {
+                let hdr = region.read_vec(off, 8).map_err(CallError::Mem)?;
+                let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+                segs.push(region.read_vec(off + 8, len).map_err(CallError::Mem)?);
+                cpu.touch_pages(region.pages_for(off, len + 8), &mut scratch);
+                off += len + 8;
+            }
+            segs
+        }
+    };
+
+    let sargs = {
+        let frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(&cost, cpu, &mut meter);
+        let vals = vm.server_read_args(proc, &frame, &server_oob)?;
+        let misses = frame.misses();
+        meter.add_tlb_misses(misses);
+        vals
+    };
+    for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+        if p.dir.is_in() && needs_server_copy(p) {
+            copies.record(CopyOp::E, slot_l.size);
+        }
+    }
+
+    // Run the server procedure on the client's (migrated) thread.
+    let sctx = ServerCtx {
+        rt: Arc::clone(rt),
+        thread: Arc::clone(thread),
+        domain: Arc::clone(&state.server),
+        cpu_id: cpu.id(),
+    };
+    let reply = state.clerk.dispatch(proc_index, &sctx, &sargs)?;
+
+    // ---- Server stub, return half ------------------------------------
+    charge(cpu, &mut meter, Phase::ServerStub, cost.server_stub_return);
+    {
+        let mut frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(&cost, cpu, &mut meter);
+        vm.server_place_results(proc, reply.ret.as_ref(), &reply.outs, &mut frame, &mut oob)?;
+        let misses = frame.misses();
+        meter.add_tlb_misses(misses);
+    }
+
+    rt.kernel().trap(cpu, &mut meter);
+
+    // ---- Kernel, return path ------------------------------------------
+    // "Unlike the call ... this information, contained at the top of the
+    // linkage stack referenced by the thread's control block, is implicit
+    // in the return. There is no need to verify the returning thread's
+    // right to transfer back."
+    charge(
+        cpu,
+        &mut meter,
+        Phase::KernelTransfer,
+        cost.kernel_transfer_return,
+    );
+    touch_set(cpu, state.touch.kernel_return(), &mut meter);
+
+    slot.release();
+    pool.end_call(astack_key);
+    guard.slot = None;
+    guard.pool = None;
+
+    let pop = thread.pop_linkage();
+    guard.linkage_pushed = false;
+    match pop {
+        ReturnPath::Return { to, call_failed } => {
+            // Restore the caller's saved stack pointer from the linkage.
+            thread.set_user_sp(to.return_sp);
+            if call_failed || to.caller_domain != state.client.id() {
+                // A domain involved in this call terminated while we were
+                // out; the caller sees a call-failed exception.
+                return Err(CallError::CallFailed);
+            }
+        }
+        ReturnPath::DestroyThread => {
+            let aborted = thread.is_abandoned();
+            rt.kernel().reap_thread(thread.id());
+            return Err(if aborted {
+                CallError::CallAborted
+            } else {
+                CallError::CallFailed
+            });
+        }
+    }
+
+    // ---- Transfer back to the client domain ---------------------------
+    let mut exchanged_on_return = false;
+    if caching {
+        if let Some(idle) = machine.claim_idle_cpu_in(client_ctx.id()) {
+            let target = machine.cpu(idle);
+            target.advance_to(cpu.now());
+            cpu.set_idle_in(Some(server_ctx.id()));
+            cpu = target;
+            charge(
+                cpu,
+                &mut meter,
+                Phase::ProcessorExchange,
+                cost.processor_exchange,
+            );
+            state.client.note_idle_hit();
+            exchanged_on_return = true;
+        } else {
+            state.client.note_idle_miss();
+            cpu.switch_context(client_ctx.id(), &cost, &mut meter);
+        }
+    } else {
+        cpu.switch_context(client_ctx.id(), &cost, &mut meter);
+    }
+
+    // ---- Client stub, return half --------------------------------------
+    charge(cpu, &mut meter, Phase::ClientStub, cost.client_stub_return);
+    touch_set(cpu, client_state.touch.client_return(), &mut meter);
+    if exchanged_on_return && out_bytes > 0 {
+        charge(
+            cpu,
+            &mut meter,
+            Phase::ArgCopy,
+            cost.remote_access_per_byte * out_bytes as u64,
+        );
+    }
+
+    touch_set(
+        cpu,
+        aref.region.pages_for(aref.offset, 1).collect(),
+        &mut meter,
+    );
+
+    // Returned values are copied from the A-stack directly into their
+    // final destination (copy F of Table 3).
+    let (ret, outs) = {
+        let frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(&cost, cpu, &mut meter);
+        let r = vm.client_fetch_results(proc, &frame, &oob)?;
+        let misses = frame.misses();
+        meter.add_tlb_misses(misses);
+        r
+    };
+    if proc.layout.ret.is_some() {
+        copies.record(CopyOp::F, proc.layout.ret.as_ref().map_or(0, |s| s.size));
+    }
+    for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+        if p.dir.is_out() {
+            copies.record(CopyOp::F, slot_l.size);
+        }
+    }
+
+    // Reclaim the per-call out-of-band segment.
+    if let Some(region) = &oob_region {
+        client_state.client.ctx().unmap(region.id());
+        client_state.server.ctx().unmap(region.id());
+        rt.kernel().machine().mem().free(region.id());
+    }
+
+    // Requeue the A-stack (LIFO) under the per-queue lock.
+    guard.disarm();
+    client_state.astacks.release(astack_idx);
+    charge_locked(
+        cpu,
+        &mut meter,
+        Phase::QueueOp,
+        cost.astack_queue_op,
+        ASTACK_QUEUE_LOCK,
+    );
+
+    client_state.stats.note_call();
+    client_state
+        .stats
+        .note_exchanges(u64::from(exchanged_on_call) + u64::from(exchanged_on_return));
+
+    Ok(CallOutcome {
+        ret,
+        outs,
+        elapsed: cpu.now() - start,
+        meter,
+        copies,
+        exchanged_on_call,
+        exchanged_on_return,
+        end_cpu: cpu.id(),
+    })
+}

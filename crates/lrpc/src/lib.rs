@@ -1,0 +1,72 @@
+//! Lightweight Remote Procedure Call.
+//!
+//! A from-scratch Rust reproduction of *Lightweight Remote Procedure Call*
+//! (Bershad, Anderson, Lazowska, Levy — SOSP 1989): a communication
+//! facility for protection domains on the same machine that combines the
+//! control-transfer model of capability systems (the client's thread runs
+//! the server's procedure) with the programming semantics of RPC.
+//!
+//! The four techniques of the paper map to these modules:
+//!
+//! * **Simple control transfer** — [`call`]: kernel-validated direct
+//!   transfer of the client's thread into the server domain, linkage
+//!   records on the thread control block.
+//! * **Simple data transfer** — [`astack`]: pairwise-mapped, contiguously
+//!   allocated argument stacks with LIFO free queues; arguments are copied
+//!   once, from the client stub straight onto the shared A-stack.
+//! * **Simple stubs** — the `idl` crate's generated stub programs,
+//!   interpreted against A-stack frames.
+//! * **Design for concurrency** — per-A-stack-queue locks only, and the
+//!   idle-processor domain-caching optimization.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use firefly::cpu::Machine;
+//! use idl::wire::Value;
+//! use kernel::kernel::Kernel;
+//! use lrpc::{Handler, LrpcRuntime, Reply};
+//!
+//! let kernel = Kernel::new(Machine::cvax_firefly());
+//! let rt = LrpcRuntime::new(kernel);
+//!
+//! let server = rt.kernel().create_domain("adder");
+//! rt.export(
+//!     &server,
+//!     "interface Math { procedure Add(a: int32, b: int32) -> int32; }",
+//!     vec![Box::new(|_ctx: &lrpc::ServerCtx, args: &[Value]| {
+//!         let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+//!             unreachable!("stubs decoded the declared types");
+//!         };
+//!         Ok(Reply::value(Value::Int32(a + b)))
+//!     }) as Handler],
+//! )
+//! .expect("export succeeds");
+//!
+//! let client = rt.kernel().create_domain("app");
+//! let thread = rt.kernel().spawn_thread(&client);
+//! let binding = rt.import(&client, "Math").expect("import succeeds");
+//! let outcome = binding.call(0, &thread, "Add", &[Value::Int32(2), Value::Int32(3)]).unwrap();
+//! assert_eq!(outcome.ret, Some(Value::Int32(5)));
+//! ```
+
+pub mod astack;
+pub mod binding;
+pub mod call;
+pub mod error;
+pub mod estack;
+pub mod remote;
+pub mod runtime;
+pub mod touch;
+pub mod typed;
+
+pub use astack::{AStackMapping, AStackPolicy, AStackSet, LinkageSlot};
+pub use binding::{Binding, BindingState, BindingStats, Clerk, Handler, Reply, ServerCtx};
+pub use call::{CallOutcome, ASTACK_QUEUE_LOCK};
+pub use error::CallError;
+pub use estack::{EStackPool, EStackStats};
+pub use remote::{RemoteReply, RemoteTransport};
+pub use runtime::{LrpcRuntime, RuntimeConfig};
+pub use touch::TouchPlan;
+pub use typed::{IntoValue, TypedCall, TypedOutcome};

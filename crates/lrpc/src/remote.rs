@@ -1,0 +1,43 @@
+//! Cross-machine transparency (Section 5.1).
+//!
+//! "Deciding whether a call is cross-domain or cross-machine is made at the
+//! earliest possible moment — the first instruction of the stub. If the
+//! call is to a truly remote server (indicated by a bit in the Binding
+//! Object), then a branch is taken to a more conventional RPC stub."
+//!
+//! The conventional RPC stub lives in the `msgrpc` crate; to keep the
+//! dependency one-way, LRPC sees it through this trait and the wiring
+//! happens in the application (or the benchmark harness).
+
+use std::sync::Arc;
+
+use firefly::cpu::Cpu;
+use firefly::meter::Meter;
+use idl::stubgen::CompiledInterface;
+use idl::wire::Value;
+
+use crate::error::CallError;
+
+/// The result of a remote call: return value and out-parameter values.
+pub type RemoteReply = (Option<Value>, Vec<(usize, Value)>);
+
+/// A conventional (network) RPC transport.
+pub trait RemoteTransport: Send + Sync {
+    /// True if the transport can reach an exporter of `interface`.
+    fn exports(&self, interface: &str) -> bool;
+
+    /// The compiled interface of a remote exporter, used to build the
+    /// client-side stubs at import time.
+    fn interface(&self, interface: &str) -> Option<Arc<CompiledInterface>>;
+
+    /// Performs the remote call, charging network and marshaling costs to
+    /// `cpu`.
+    fn call(
+        &self,
+        interface: &str,
+        proc_index: usize,
+        args: &[Value],
+        cpu: &Cpu,
+        meter: &mut Meter,
+    ) -> Result<RemoteReply, CallError>;
+}

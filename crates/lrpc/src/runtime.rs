@@ -1,0 +1,339 @@
+//! The LRPC runtime.
+//!
+//! One [`LrpcRuntime`] per machine ties together the kernel, the name
+//! server, the Binding Object table, the per-server E-stack pools, and the
+//! optional conventional-RPC transport for remote bindings.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use idl::ast::InterfaceDef;
+use idl::stubgen::{compile, CompiledInterface};
+use kernel::ids::DomainId;
+use kernel::kernel::{Kernel, TerminationReport};
+use kernel::nameserver::NameServer;
+use kernel::objects::{HandleTable, RawHandle};
+use kernel::thread::Thread;
+use kernel::Domain;
+use parking_lot::Mutex;
+
+use crate::astack::{AStackMapping, AStackPolicy, AStackSet};
+use crate::binding::{Binding, BindingState, Clerk, Handler};
+use crate::error::CallError;
+use crate::estack::{EStackPool, DEFAULT_ESTACK_SIZE, DEFAULT_MAX_ESTACKS};
+use crate::remote::RemoteTransport;
+use crate::touch::TouchPlan;
+
+/// Tunables of the runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Use the idle-processor optimization of Section 3.4 (caching domain
+    /// contexts on idle processors). Tables 4/5 report both settings.
+    pub domain_caching: bool,
+    /// How long an importer waits for the exporter's clerk.
+    pub import_timeout: Duration,
+    /// What a call does when its procedure's A-stacks are exhausted.
+    pub astack_policy: AStackPolicy,
+    /// Bytes per E-stack.
+    pub estack_size: usize,
+    /// E-stacks per server domain before LRU reclamation.
+    pub max_estacks: usize,
+    /// How A-stack regions are mapped (pairwise, or the Firefly's
+    /// globally-shared fallback — Section 3.5).
+    pub astack_mapping: AStackMapping,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            domain_caching: true,
+            import_timeout: Duration::from_secs(5),
+            astack_policy: AStackPolicy::Wait(Duration::from_secs(1)),
+            estack_size: DEFAULT_ESTACK_SIZE,
+            max_estacks: DEFAULT_MAX_ESTACKS,
+            astack_mapping: AStackMapping::Pairwise,
+        }
+    }
+}
+
+/// The LRPC run-time library plus the kernel facilities it drives.
+pub struct LrpcRuntime {
+    kernel: Arc<Kernel>,
+    config: RuntimeConfig,
+    names: NameServer<Arc<Clerk>>,
+    bindings: HandleTable<Arc<BindingState>>,
+    estacks: Mutex<HashMap<DomainId, Arc<EStackPool>>>,
+    remote: Mutex<Option<Arc<dyn RemoteTransport>>>,
+    proxy_domain: Mutex<Option<Arc<Domain>>>,
+}
+
+impl LrpcRuntime {
+    /// Creates a runtime with default configuration.
+    pub fn new(kernel: Arc<Kernel>) -> Arc<LrpcRuntime> {
+        LrpcRuntime::with_config(kernel, RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with explicit configuration.
+    pub fn with_config(kernel: Arc<Kernel>, config: RuntimeConfig) -> Arc<LrpcRuntime> {
+        Arc::new(LrpcRuntime {
+            kernel,
+            config,
+            names: NameServer::new(),
+            bindings: HandleTable::new(),
+            estacks: Mutex::new(HashMap::new()),
+            remote: Mutex::new(None),
+            proxy_domain: Mutex::new(None),
+        })
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Exports an interface (given as IDL source) from `server`, installing
+    /// the clerk in the name server. Returns the clerk.
+    ///
+    /// `handlers` must supply one body per declared procedure, in order.
+    pub fn export(
+        self: &Arc<Self>,
+        server: &Arc<Domain>,
+        idl_src: &str,
+        handlers: Vec<Handler>,
+    ) -> Result<Arc<Clerk>, CallError> {
+        let def = idl::parse(idl_src)
+            .map_err(|e| CallError::ServerFault(format!("interface parse error: {e}")))?;
+        self.export_def(server, &def, handlers)
+    }
+
+    /// Exports an already-parsed interface definition.
+    pub fn export_def(
+        self: &Arc<Self>,
+        server: &Arc<Domain>,
+        def: &InterfaceDef,
+        handlers: Vec<Handler>,
+    ) -> Result<Arc<Clerk>, CallError> {
+        if !server.is_active() {
+            return Err(CallError::DomainDead);
+        }
+        let compiled = Arc::new(compile(def));
+        let clerk = Arc::new(Clerk::new(compiled, Arc::clone(server), handlers));
+        self.names.register(def.name.clone(), Arc::clone(&clerk));
+        Ok(clerk)
+    }
+
+    /// Imports an interface into `client`: waits for the exporter's clerk,
+    /// obtains the PDL, pairwise-allocates the A-stacks and linkage
+    /// records, and returns the Binding Object wrapped in a [`Binding`].
+    pub fn import(
+        self: &Arc<Self>,
+        client: &Arc<Domain>,
+        name: &str,
+    ) -> Result<Binding, CallError> {
+        if !client.is_active() {
+            return Err(CallError::DomainDead);
+        }
+        let clerk = self
+            .names
+            .import_wait(name, self.config.import_timeout)
+            .ok_or_else(|| CallError::ImportTimeout {
+                name: name.to_string(),
+            })?;
+        let server = Arc::clone(clerk.domain());
+        if !server.is_active() {
+            return Err(CallError::DomainDead);
+        }
+
+        // The clerk's reply: the PDL, from which the kernel sizes the
+        // pairwise A-stack allocation.
+        let pdl = clerk.pdl();
+        let per_proc: Vec<(usize, u32)> = pdl
+            .iter()
+            .map(|pd| (pd.astack_size, pd.simultaneous_calls))
+            .collect();
+        let astacks = AStackSet::allocate_mapped(
+            &self.kernel,
+            client,
+            &server,
+            &format!("astacks:{name}"),
+            &per_proc,
+            self.config.astack_mapping,
+        );
+        let touch = TouchPlan::allocate(&self.kernel, client, &server);
+        let state = Arc::new(BindingState::new(
+            Arc::clone(clerk.interface()),
+            Arc::clone(client),
+            server,
+            clerk,
+            astacks,
+            touch,
+            false,
+        ));
+        let handle = self.bindings.insert(Arc::clone(&state));
+        Ok(Binding::new(Arc::clone(self), handle, state))
+    }
+
+    /// Imports an interface exported by a *remote* machine through the
+    /// configured transport. The resulting Binding Object has its remote
+    /// bit set; calls branch to the conventional RPC stub at the first
+    /// instruction (Section 5.1).
+    pub fn import_remote(
+        self: &Arc<Self>,
+        client: &Arc<Domain>,
+        name: &str,
+    ) -> Result<Binding, CallError> {
+        let transport = self
+            .remote
+            .lock()
+            .clone()
+            .ok_or(CallError::NoRemoteTransport)?;
+        if !transport.exports(name) {
+            return Err(CallError::ImportTimeout {
+                name: name.to_string(),
+            });
+        }
+        let interface: Arc<CompiledInterface> =
+            transport
+                .interface(name)
+                .ok_or_else(|| CallError::ImportTimeout {
+                    name: name.to_string(),
+                })?;
+        let proxy = self.proxy_domain();
+        // The proxy clerk never dispatches (the remote branch happens
+        // before the transfer path); it exists so the binding state is
+        // fully formed.
+        let handlers = (0..interface.procs.len())
+            .map(|_| {
+                Box::new(|_: &crate::binding::ServerCtx, _: &[idl::wire::Value]| {
+                    Err(CallError::NoRemoteTransport)
+                }) as Handler
+            })
+            .collect();
+        let clerk = Arc::new(Clerk::new(
+            Arc::clone(&interface),
+            Arc::clone(&proxy),
+            handlers,
+        ));
+        let pdl = clerk.pdl();
+        let per_proc: Vec<(usize, u32)> = pdl
+            .iter()
+            .map(|pd| (pd.astack_size, pd.simultaneous_calls))
+            .collect();
+        let astacks = AStackSet::allocate(
+            &self.kernel,
+            client,
+            &proxy,
+            &format!("astacks-remote:{name}"),
+            &per_proc,
+        );
+        let touch = TouchPlan::allocate(&self.kernel, client, &proxy);
+        let state = Arc::new(BindingState::new(
+            interface,
+            Arc::clone(client),
+            proxy,
+            clerk,
+            astacks,
+            touch,
+            true,
+        ));
+        let handle = self.bindings.insert(Arc::clone(&state));
+        Ok(Binding::new(Arc::clone(self), handle, state))
+    }
+
+    /// Installs the conventional-RPC transport used by remote bindings.
+    pub fn set_remote_transport(&self, t: Arc<dyn RemoteTransport>) {
+        *self.remote.lock() = Some(t);
+    }
+
+    /// The configured remote transport, if any.
+    pub fn remote_transport(&self) -> Option<Arc<dyn RemoteTransport>> {
+        self.remote.lock().clone()
+    }
+
+    fn proxy_domain(&self) -> Arc<Domain> {
+        let mut guard = self.proxy_domain.lock();
+        if let Some(d) = guard.as_ref() {
+            return Arc::clone(d);
+        }
+        let d = self.kernel.create_domain("network-proxy");
+        *guard = Some(Arc::clone(&d));
+        d
+    }
+
+    /// Runs the idle-processor prodding policy over every live domain
+    /// (Section 3.4): idle CPUs are parked in the contexts of the domains
+    /// that missed the idle-processor optimization most often, and the
+    /// per-domain counters are reset.
+    ///
+    /// Returns the number of idle CPUs that were (re)assigned.
+    pub fn rebalance_idle_processors(&self) -> usize {
+        let domains = self.kernel.domains();
+        kernel::sched::prod_idle_processors(self.kernel.machine(), &domains)
+            .iter()
+            .sum()
+    }
+
+    /// True if an exporter has registered `name` with the name server.
+    pub fn exports(&self, name: &str) -> bool {
+        self.names.lookup(name).is_some()
+    }
+
+    /// Kernel-side Binding Object validation ("must be presented to the
+    /// kernel at each call").
+    pub fn validate_binding(&self, handle: RawHandle) -> Result<Arc<BindingState>, CallError> {
+        let state = self.bindings.get(handle)?;
+        if state.is_revoked() {
+            return Err(CallError::BindingRevoked);
+        }
+        Ok(state)
+    }
+
+    /// The E-stack pool of a server domain.
+    pub fn estack_pool(&self, server: &Arc<Domain>) -> Arc<EStackPool> {
+        let mut pools = self.estacks.lock();
+        Arc::clone(pools.entry(server.id()).or_insert_with(|| {
+            Arc::new(EStackPool::new(
+                Arc::clone(server),
+                self.config.estack_size,
+                self.config.max_estacks,
+            ))
+        }))
+    }
+
+    /// Terminates a domain, LRPC-level steps included (Section 5.3): every
+    /// Binding Object associated with the domain — as client or server —
+    /// is revoked, its exported interfaces are withdrawn from the name
+    /// server, and the kernel collector then invalidates linkage records
+    /// and reclaims resources.
+    pub fn terminate_domain(&self, domain: &Arc<Domain>) -> TerminationReport {
+        // Revoke bindings first so no new calls can start.
+        let revoked = self.bindings.revoke_matching(|s| s.involves(domain));
+        for s in &revoked {
+            s.revoke();
+        }
+        self.names
+            .unregister_matching(|c| c.domain().id() == domain.id());
+        self.estacks.lock().remove(&domain.id());
+        self.kernel.terminate_domain(domain)
+    }
+
+    /// Recovers from a server capturing the client's thread (Section 5.3):
+    /// creates a replacement thread "whose initial state is that of the
+    /// original captured thread as if it had just returned from the server
+    /// procedure with a call-aborted exception". The captured thread is
+    /// destroyed by the kernel when the server finally releases it.
+    pub fn abandon_captured(&self, captured: &Arc<Thread>) -> Option<Arc<Thread>> {
+        self.kernel.replace_captured_thread(captured)
+    }
+
+    /// Number of live bindings (diagnostics).
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+}

@@ -1,0 +1,148 @@
+//! Message marshaling.
+//!
+//! Conventional RPC stubs marshal every argument into the message and
+//! unmarshal on the far side — the generic path LRPC's optimized stubs
+//! avoid for simple types.
+
+use idl::stubgen::CompiledProc;
+use idl::wire::{decode, decode_checked, encode, Value};
+use lrpc::CallError;
+
+fn stub_err(e: idl::wire::WireError) -> CallError {
+    CallError::Stub(idl::stubvm::StubError::Wire(e))
+}
+
+/// Marshals the in-direction arguments of a call, in declaration order.
+pub fn marshal_args(proc: &CompiledProc, args: &[Value]) -> Result<Vec<u8>, CallError> {
+    if args.len() != proc.def.params.len() {
+        return Err(CallError::Stub(idl::stubvm::StubError::ArgCount {
+            expected: proc.def.params.len(),
+            got: args.len(),
+        }));
+    }
+    let mut out = Vec::new();
+    for (v, p) in args.iter().zip(&proc.def.params) {
+        if p.dir.is_in() {
+            encode(v, &p.ty, &mut out).map_err(stub_err)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Unmarshals a call message into one value per declared parameter
+/// (out-only parameters get zero placeholders). Conformance checks run
+/// here, after the copy — the conventional ordering the paper contrasts
+/// with LRPC's folded check.
+pub fn unmarshal_args(proc: &CompiledProc, bytes: &[u8]) -> Result<Vec<Value>, CallError> {
+    let mut vals = Vec::with_capacity(proc.def.params.len());
+    let mut pos = 0;
+    for p in &proc.def.params {
+        if p.dir.is_in() {
+            let (v, used) = decode_checked(&bytes[pos..], &p.ty).map_err(stub_err)?;
+            pos += used;
+            vals.push(v);
+        } else {
+            vals.push(Value::zero_of(&p.ty));
+        }
+    }
+    Ok(vals)
+}
+
+/// Marshals a reply: the return value (if declared) followed by every
+/// out-direction parameter in declaration order.
+pub fn marshal_reply(
+    proc: &CompiledProc,
+    ret: Option<&Value>,
+    outs: &[(usize, Value)],
+) -> Result<Vec<u8>, CallError> {
+    let mut out = Vec::new();
+    if let Some(ret_ty) = &proc.def.ret {
+        let v = ret.ok_or(CallError::Stub(idl::stubvm::StubError::MissingResult))?;
+        encode(v, ret_ty, &mut out).map_err(stub_err)?;
+    }
+    for (i, p) in proc.def.params.iter().enumerate() {
+        if p.dir.is_out() {
+            let v = outs
+                .iter()
+                .find(|(j, _)| *j == i)
+                .map(|(_, v)| v)
+                .ok_or(CallError::Stub(idl::stubvm::StubError::MissingResult))?;
+            encode(v, &p.ty, &mut out).map_err(stub_err)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Unmarshals a reply into the return value and out-parameter values.
+pub fn unmarshal_reply(
+    proc: &CompiledProc,
+    bytes: &[u8],
+) -> Result<idl::stubvm::FetchedResults, CallError> {
+    let mut pos = 0;
+    let ret = match &proc.def.ret {
+        Some(ret_ty) => {
+            let (v, used) = decode(&bytes[pos..], ret_ty).map_err(stub_err)?;
+            pos += used;
+            Some(v)
+        }
+        None => None,
+    };
+    let mut outs = Vec::new();
+    for (i, p) in proc.def.params.iter().enumerate() {
+        if p.dir.is_out() {
+            let (v, used) = decode(&bytes[pos..], &p.ty).map_err(stub_err)?;
+            pos += used;
+            outs.push((i, v));
+        }
+    }
+    Ok((ret, outs))
+}
+
+/// Total in-direction payload bytes of a call (for per-byte charging).
+pub fn in_bytes(proc: &CompiledProc, args: &[Value]) -> usize {
+    marshal_args(proc, args).map(|v| v.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl::stubgen::compile;
+
+    fn proc(src: &str) -> CompiledProc {
+        compile(&idl::parse(src).unwrap()).procs[0].clone()
+    }
+
+    #[test]
+    fn args_roundtrip() {
+        let p = proc("interface I { procedure Add(a: int32, b: int32) -> int32; }");
+        let bytes = marshal_args(&p, &[Value::Int32(3), Value::Int32(-4)]).unwrap();
+        assert_eq!(bytes.len(), 8);
+        let vals = unmarshal_args(&p, &bytes).unwrap();
+        assert_eq!(vals, vec![Value::Int32(3), Value::Int32(-4)]);
+    }
+
+    #[test]
+    fn out_params_are_skipped_on_call_and_carried_on_reply() {
+        let p = proc("interface I { procedure Read(h: int32, buf: out bytes[8]) -> int32; }");
+        let bytes = marshal_args(&p, &[Value::Int32(5), Value::Bytes(vec![0; 8])]).unwrap();
+        assert_eq!(bytes.len(), 4, "only the handle travels in");
+        let reply =
+            marshal_reply(&p, Some(&Value::Int32(8)), &[(1, Value::Bytes(vec![7; 8]))]).unwrap();
+        let (ret, outs) = unmarshal_reply(&p, &reply).unwrap();
+        assert_eq!(ret, Some(Value::Int32(8)));
+        assert_eq!(outs, vec![(1, Value::Bytes(vec![7; 8]))]);
+    }
+
+    #[test]
+    fn conformance_is_checked_after_the_copy() {
+        let p = proc("interface I { procedure P(n: cardinal); }");
+        let bytes = marshal_args(&p, &[Value::Cardinal(-1)]).unwrap();
+        assert!(unmarshal_args(&p, &bytes).is_err());
+    }
+
+    #[test]
+    fn missing_result_is_detected() {
+        let p = proc("interface I { procedure F() -> int32; }");
+        assert!(marshal_reply(&p, None, &[]).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Self-dispatching receiver pools.
+//!
+//! Section 2.3, on conventional RPC's dispatch overhead: "A receiver
+//! thread in the server domain must interpret the message and dispatch a
+//! thread to execute the call. If the receiver is self-dispatching, it
+//! must ensure that another thread remains to collect messages that may
+//! arrive before the receiver finishes to prevent caller serialization."
+//!
+//! [`ReceiverPool`] models exactly that discipline over the server's
+//! concrete threads: threads are either *receiving* (parked on the port)
+//! or *working* (executing a call). A receiver that self-dispatches must
+//! first guarantee a successor receiver — spawning one if it was the
+//! last — so the invariant "at least one receiver while any thread works"
+//! holds, at the cost of the extra thread-management work LRPC avoids
+//! entirely.
+
+use std::sync::Arc;
+
+use kernel::kernel::Kernel;
+use kernel::thread::{Thread, ThreadStatus};
+use kernel::Domain;
+use parking_lot::Mutex;
+
+/// What `begin_dispatch` had to do to keep a receiver available.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DispatchAction {
+    /// Another receiver was already parked; the dispatcher just started
+    /// working.
+    UsedExisting,
+    /// The dispatcher was the last receiver and had to create a successor
+    /// before taking the call (the expensive path).
+    SpawnedSuccessor,
+}
+
+struct PoolInner {
+    receiving: Vec<Arc<Thread>>,
+    working: Vec<Arc<Thread>>,
+    spawned: u64,
+}
+
+/// The concrete threads of one message-RPC server.
+pub struct ReceiverPool {
+    kernel: Arc<Kernel>,
+    domain: Arc<Domain>,
+    inner: Mutex<PoolInner>,
+}
+
+impl ReceiverPool {
+    /// Creates a pool with `initial` receiver threads parked on the port.
+    pub fn new(kernel: Arc<Kernel>, domain: Arc<Domain>, initial: usize) -> ReceiverPool {
+        let receiving = (0..initial.max(1))
+            .map(|_| {
+                let t = kernel.spawn_thread(&domain);
+                t.set_status(ThreadStatus::Blocked); // Parked on the port.
+                t
+            })
+            .collect();
+        ReceiverPool {
+            kernel,
+            domain,
+            inner: Mutex::new(PoolInner {
+                receiving,
+                working: Vec::new(),
+                spawned: 0,
+            }),
+        }
+    }
+
+    /// A receiver picked up a message and self-dispatches: it moves to the
+    /// working set, first ensuring a successor receiver exists.
+    ///
+    /// Returns the dispatching thread and what had to happen.
+    pub fn begin_dispatch(&self) -> (Arc<Thread>, DispatchAction) {
+        let mut inner = self.inner.lock();
+        let worker = match inner.receiving.pop() {
+            Some(t) => t,
+            None => {
+                // No receiver at all (all working): a fresh thread takes
+                // the call. This also counts as the expensive path.
+                inner.spawned += 1;
+                self.kernel.spawn_thread(&self.domain)
+            }
+        };
+        worker.set_status(ThreadStatus::Running);
+        let action = if inner.receiving.is_empty() {
+            // The dispatcher was the last receiver: create a successor so
+            // callers are not serialized behind this call.
+            let successor = self.kernel.spawn_thread(&self.domain);
+            successor.set_status(ThreadStatus::Blocked);
+            inner.receiving.push(successor);
+            inner.spawned += 1;
+            DispatchAction::SpawnedSuccessor
+        } else {
+            DispatchAction::UsedExisting
+        };
+        inner.working.push(Arc::clone(&worker));
+        (worker, action)
+    }
+
+    /// The worker finished its call and returns to receiving.
+    pub fn end_dispatch(&self, worker: &Arc<Thread>) {
+        let mut inner = self.inner.lock();
+        inner.working.retain(|t| t.id() != worker.id());
+        worker.set_status(ThreadStatus::Blocked);
+        inner.receiving.push(Arc::clone(worker));
+    }
+
+    /// Threads currently parked receiving.
+    pub fn receiving_count(&self) -> usize {
+        self.inner.lock().receiving.len()
+    }
+
+    /// Threads currently executing calls.
+    pub fn working_count(&self) -> usize {
+        self.inner.lock().working.len()
+    }
+
+    /// Successor threads that had to be created because a last receiver
+    /// self-dispatched — pure overhead relative to LRPC, where the
+    /// *client's* thread does the work and no receiver exists at all.
+    pub fn spawned_successors(&self) -> u64 {
+        self.inner.lock().spawned
+    }
+
+    /// The invariant the paper states: while any thread is working, at
+    /// least one receiver remains to collect messages.
+    pub fn invariant_holds(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.working.is_empty() || !inner.receiving.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly::cost::CostModel;
+    use firefly::cpu::Machine;
+
+    fn pool(initial: usize) -> ReceiverPool {
+        let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+        let domain = kernel.create_domain("server");
+        ReceiverPool::new(kernel, domain, initial)
+    }
+
+    #[test]
+    fn dispatch_with_spare_receivers_is_cheap() {
+        let p = pool(3);
+        let (w, action) = p.begin_dispatch();
+        assert_eq!(action, DispatchAction::UsedExisting);
+        assert_eq!(p.receiving_count(), 2);
+        assert_eq!(p.working_count(), 1);
+        assert!(p.invariant_holds());
+        p.end_dispatch(&w);
+        assert_eq!(p.receiving_count(), 3);
+        assert_eq!(p.spawned_successors(), 0);
+    }
+
+    #[test]
+    fn last_receiver_spawns_a_successor() {
+        let p = pool(1);
+        let (w, action) = p.begin_dispatch();
+        assert_eq!(action, DispatchAction::SpawnedSuccessor);
+        assert_eq!(p.receiving_count(), 1, "a successor must remain parked");
+        assert!(p.invariant_holds());
+        assert_eq!(p.spawned_successors(), 1);
+        p.end_dispatch(&w);
+        assert_eq!(p.receiving_count(), 2);
+    }
+
+    #[test]
+    fn burst_of_dispatches_never_serializes_callers() {
+        let p = pool(2);
+        let mut workers = Vec::new();
+        for _ in 0..8 {
+            let (w, _) = p.begin_dispatch();
+            assert!(p.invariant_holds(), "a receiver must always remain");
+            workers.push(w);
+        }
+        assert_eq!(p.working_count(), 8);
+        assert!(p.receiving_count() >= 1);
+        // Everything drains back.
+        for w in &workers {
+            p.end_dispatch(w);
+        }
+        assert_eq!(p.working_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_dispatch_holds_the_invariant() {
+        let p = Arc::new(pool(2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let (w, _) = p.begin_dispatch();
+                        assert!(p.invariant_holds());
+                        p.end_dispatch(&w);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.working_count(), 0);
+    }
+}

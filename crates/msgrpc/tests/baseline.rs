@@ -1,0 +1,370 @@
+//! End-to-end tests of the message-RPC baselines against the paper.
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use firefly::meter::Phase;
+use firefly::time::Nanos;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use kernel::thread::Thread;
+use kernel::Domain;
+use lrpc::{CallError, Reply};
+use msgrpc::{MsgHandler, MsgRpcCost, MsgRpcSystem, MsgServer};
+
+const BENCH_IDL: &str = r#"
+    interface Bench {
+        procedure Null();
+        procedure Add(a: int32, b: int32) -> int32;
+        procedure BigIn(data: in bytes[200] noninterpreted);
+        procedure BigInOut(data: inout bytes[200] noninterpreted);
+    }
+"#;
+
+fn handlers() -> Vec<MsgHandler> {
+    vec![
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                return Err(CallError::ServerFault("bad types".into()));
+            };
+            Ok(Reply::value(Value::Int32(a + b)))
+        }),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|args: &[Value]| Ok(Reply::none().with_out(0, args[0].clone()))),
+    ]
+}
+
+struct Env {
+    system: Arc<MsgRpcSystem>,
+    client: Arc<Domain>,
+    thread: Arc<Thread>,
+    server: Arc<MsgServer>,
+}
+
+fn setup(cost: MsgRpcCost) -> Env {
+    let machine = Machine::new(1, CostModel::with_hw(cost.hw));
+    let kernel = Kernel::new(machine);
+    let system = MsgRpcSystem::new(kernel, cost);
+    let server_domain = system.kernel().create_domain("msg-server");
+    let server = system
+        .export(&server_domain, BENCH_IDL, handlers(), 2)
+        .unwrap();
+    let client = system.kernel().create_domain("msg-client");
+    let thread = system.kernel().spawn_thread(&client);
+    Env {
+        system,
+        client,
+        thread,
+        server,
+    }
+}
+
+fn steady(env: &Env, proc: &str, args: &[Value]) -> Nanos {
+    env.system
+        .call(&env.client, &env.thread, &env.server, 0, proc, args)
+        .expect("warmup");
+    env.system
+        .call(&env.client, &env.thread, &env.server, 0, proc, args)
+        .expect("measured")
+        .elapsed
+}
+
+#[test]
+fn src_rpc_null_takes_464_microseconds() {
+    let env = setup(MsgRpcCost::src_rpc_taos());
+    assert_eq!(steady(&env, "Null", &[]), Nanos::from_micros(464));
+}
+
+#[test]
+fn table_2_null_actuals_reproduce() {
+    for cost in MsgRpcCost::table_2_systems() {
+        let env = setup(cost);
+        let measured = steady(&env, "Null", &[]);
+        assert_eq!(
+            measured,
+            cost.null_actual(),
+            "{}: measured {measured} vs model {}",
+            cost.name,
+            cost.null_actual()
+        );
+    }
+}
+
+#[test]
+fn table_4_taos_column_reproduces_within_one_percent() {
+    let env = setup(MsgRpcCost::src_rpc_taos());
+    let expect = [
+        ("Null", vec![], 464u64),
+        ("Add", vec![Value::Int32(1), Value::Int32(2)], 480),
+        ("BigIn", vec![Value::Bytes(vec![9; 200])], 539),
+        ("BigInOut", vec![Value::Bytes(vec![9; 200])], 636),
+    ];
+    for (proc, args, paper) in expect {
+        let measured = steady(&env, proc, &args).as_micros_f64();
+        let err = (measured - paper as f64).abs() / paper as f64;
+        assert!(
+            err < 0.01,
+            "{proc}: measured {measured:.1}us vs paper {paper}us ({:.2}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn lrpc_is_a_factor_of_three_faster_than_src_rpc() {
+    // The headline claim: 464 / 157 ≈ 2.96.
+    let src = setup(MsgRpcCost::src_rpc_taos());
+    let src_null = steady(&src, "Null", &[]).as_micros_f64();
+    let lrpc_null = CostModel::cvax_firefly().lrpc_null_serial().as_micros_f64();
+    let factor = src_null / lrpc_null;
+    assert!((2.8..=3.2).contains(&factor), "factor was {factor:.2}");
+}
+
+#[test]
+fn full_copy_call_performs_abce_and_return_bcf() {
+    let env = setup(MsgRpcCost::mach_cvax());
+    // In-only call: the copy chain is A, B, C, E (Table 3 row 1).
+    let big_in = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "BigIn",
+            &[Value::Bytes(vec![1; 200])],
+        )
+        .unwrap();
+    assert_eq!(big_in.copies.letters_string(), "ABCE");
+    // Return-only call: B, C, F (Table 3 row 3).
+    let returns = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "Add",
+            &[Value::Int32(1), Value::Int32(2)],
+        )
+        .unwrap();
+    // Add has both directions; the return contributes B, C, F again plus
+    // the call-direction ABCE.
+    assert_eq!(returns.copies.letters_string(), "ABCEF");
+    assert_eq!(
+        returns.copies.count(),
+        7,
+        "message passing totals 7 copies (Table 3)"
+    );
+}
+
+#[test]
+fn restricted_copy_call_performs_ade_and_return_bf() {
+    let env = setup(MsgRpcCost::dash_68020());
+    let big_in = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "BigIn",
+            &[Value::Bytes(vec![1; 200])],
+        )
+        .unwrap();
+    assert_eq!(big_in.copies.letters_string(), "ADE");
+    let both = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "Add",
+            &[Value::Int32(1), Value::Int32(2)],
+        )
+        .unwrap();
+    assert_eq!(
+        both.copies.count(),
+        5,
+        "restricted message passing totals 5 copies (Table 3)"
+    );
+}
+
+#[test]
+fn shared_buffers_skip_transfer_copies_and_validation() {
+    let env = setup(MsgRpcCost::src_rpc_taos());
+    let out = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "BigIn",
+            &[Value::Bytes(vec![1; 200])],
+        )
+        .unwrap();
+    assert_eq!(
+        out.copies.letters_string(),
+        "AE",
+        "globally shared buffers: no B/C/D hops"
+    );
+    assert_eq!(out.meter.total_for(Phase::Validation), Nanos::ZERO);
+    // The global lock is held for a large part of the transfer path.
+    let locked = out.meter.total_locked(msgrpc::GLOBAL_RPC_LOCK);
+    assert_eq!(locked, Nanos::from_micros(250));
+}
+
+#[test]
+fn results_roundtrip_through_messages() {
+    let env = setup(MsgRpcCost::src_rpc_taos());
+    let add = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "Add",
+            &[Value::Int32(40), Value::Int32(2)],
+        )
+        .unwrap();
+    assert_eq!(add.ret, Some(Value::Int32(42)));
+    let payload = vec![0x5A; 200];
+    let echo = env
+        .system
+        .call(
+            &env.client,
+            &env.thread,
+            &env.server,
+            0,
+            "BigInOut",
+            &[Value::Bytes(payload.clone())],
+        )
+        .unwrap();
+    assert_eq!(echo.outs, vec![(0, Value::Bytes(payload))]);
+}
+
+#[test]
+fn nonconforming_cardinal_is_rejected_after_the_copy() {
+    let machine = Machine::new(1, CostModel::cvax_firefly());
+    let kernel = Kernel::new(machine);
+    let system = MsgRpcSystem::new(kernel, MsgRpcCost::src_rpc_taos());
+    let sd = system.kernel().create_domain("s");
+    let server = system
+        .export(
+            &sd,
+            "interface C { procedure P(n: cardinal); }",
+            vec![Box::new(|_: &[Value]| Ok(Reply::none())) as MsgHandler],
+            1,
+        )
+        .unwrap();
+    let client = system.kernel().create_domain("c");
+    let thread = system.kernel().spawn_thread(&client);
+    let err = system
+        .call(&client, &thread, &server, 0, "P", &[Value::Cardinal(-3)])
+        .unwrap_err();
+    assert!(matches!(err, CallError::Stub(_)), "got {err}");
+    // The system keeps working afterwards.
+    system
+        .call(&client, &thread, &server, 0, "P", &[Value::Cardinal(3)])
+        .unwrap();
+}
+
+#[test]
+fn bind_by_name_and_unknown_names_fail() {
+    let env = setup(MsgRpcCost::src_rpc_taos());
+    assert!(env.system.bind("Bench").is_ok());
+    assert!(matches!(
+        env.system.bind("Nope"),
+        Err(CallError::ImportTimeout { .. })
+    ));
+}
+
+#[test]
+fn register_passing_exhibits_the_footnote_discontinuity() {
+    // Footnote 2: "Optimizations based on passing arguments in registers
+    // exhibit a performance discontinuity once the parameters overflow
+    // the registers."
+    let machine = Machine::new(1, CostModel::with_hw(MsgRpcCost::v_with_registers().hw));
+    let kernel = Kernel::new(machine);
+    let system = MsgRpcSystem::new(kernel, MsgRpcCost::v_with_registers());
+    let sd = system.kernel().create_domain("s");
+    let server = system
+        .export(
+            &sd,
+            r#"interface R {
+                procedure Small(data: in bytes[28] noninterpreted);
+                procedure Overflow(data: in bytes[36] noninterpreted);
+            }"#,
+            vec![
+                Box::new(|_: &[Value]| Ok(Reply::none())) as MsgHandler,
+                Box::new(|_: &[Value]| Ok(Reply::none())) as MsgHandler,
+            ],
+            1,
+        )
+        .unwrap();
+    let client = system.kernel().create_domain("c");
+    let thread = system.kernel().spawn_thread(&client);
+    let steady = |proc: &str, n: usize| {
+        let args = [Value::Bytes(vec![0; n])];
+        system
+            .call(&client, &thread, &server, 0, proc, &args)
+            .unwrap();
+        system
+            .call(&client, &thread, &server, 0, proc, &args)
+            .unwrap()
+    };
+    let small = steady("Small", 28);
+    let overflow = steady("Overflow", 36);
+    // 28 bytes fit the 32-byte register window: no message copies at all.
+    assert_eq!(
+        small.copies.count(),
+        0,
+        "register-passed call performs no copies"
+    );
+    // 36 bytes overflow: the full buffer path, with all its copies.
+    assert!(
+        overflow.copies.count() >= 4,
+        "overflow falls back to the copy chain"
+    );
+    // The discontinuity: 8 extra bytes cost far more than 8 bytes' worth.
+    let jump = overflow.elapsed.as_micros_f64() - small.elapsed.as_micros_f64();
+    assert!(
+        jump > 10.0,
+        "crossing the register window must jump discontinuously, got {jump:.1}us"
+    );
+}
+
+#[test]
+fn panicking_msg_handler_is_failure_isolated() {
+    let machine = Machine::new(1, CostModel::cvax_firefly());
+    let kernel = Kernel::new(machine);
+    let system = MsgRpcSystem::new(kernel, MsgRpcCost::src_rpc_taos());
+    let sd = system.kernel().create_domain("buggy");
+    let server = system
+        .export(
+            &sd,
+            "interface B { procedure Crash(); }",
+            vec![
+                Box::new(|_: &[Value]| -> Result<Reply, CallError> { panic!("server bug") })
+                    as MsgHandler,
+            ],
+            1,
+        )
+        .unwrap();
+    let client = system.kernel().create_domain("c");
+    let thread = system.kernel().spawn_thread(&client);
+    for _ in 0..3 {
+        let err = system
+            .call(&client, &thread, &server, 0, "Crash", &[])
+            .unwrap_err();
+        assert!(matches!(err, CallError::ServerFault(_)), "got {err}");
+    }
+    // The receiver pool stays consistent.
+    assert!(server.receivers().invariant_holds());
+    assert_eq!(server.receivers().working_count(), 0);
+}

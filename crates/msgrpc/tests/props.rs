@@ -1,0 +1,137 @@
+//! Property tests for the message-RPC substrate.
+
+use std::time::Duration;
+
+use idl::stubgen::compile;
+use idl::wire::Value;
+use msgrpc::marshal::{marshal_args, marshal_reply, unmarshal_args, unmarshal_reply};
+use msgrpc::{Message, Port};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Port FIFO + flow-control invariants.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn port_is_fifo_under_arbitrary_interleaving(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let port = Port::new(capacity);
+        let timeout = Duration::from_millis(1);
+        let mut next_send = 0usize;
+        let mut next_recv = 0usize;
+        for enqueue in ops {
+            if enqueue {
+                let accepted = port.enqueue(Message::call(next_send, vec![]), timeout);
+                // Accepted iff not full.
+                prop_assert_eq!(accepted, next_send - next_recv < capacity);
+                if accepted {
+                    next_send += 1;
+                }
+            } else {
+                match port.dequeue(timeout) {
+                    Some(m) => {
+                        prop_assert_eq!(m.proc_index, next_recv, "FIFO violated");
+                        next_recv += 1;
+                    }
+                    None => prop_assert_eq!(next_send, next_recv, "dequeue failed non-empty"),
+                }
+            }
+            prop_assert_eq!(port.depth(), next_send - next_recv);
+        }
+    }
+
+    #[test]
+    fn message_copy_hops_preserve_bytes(payload in proptest::collection::vec(any::<u8>(), 0..512),
+                                        hops in 1usize..5) {
+        let mut m = Message::call(3, payload.clone());
+        for _ in 0..hops {
+            m = m.copy_hop();
+        }
+        prop_assert_eq!(&m.payload[..], &payload[..]);
+        prop_assert_eq!(m.proc_index, 3);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Marshal/unmarshal round-trips over generated signatures.
+// ----------------------------------------------------------------------
+
+/// A generated signature: IDL source, call arguments, return value and
+/// out-parameter values.
+type Signature = (String, Vec<Value>, Option<Value>, Vec<(usize, Value)>);
+
+/// A procedure with n_in int32 ins, one optional var-bytes, n_out int32
+/// outs, optional ret — plus matching argument values.
+fn signature_and_values() -> impl Strategy<Value = Signature> {
+    (
+        0usize..4,
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
+        0usize..3,
+        proptest::option::of(any::<i32>()),
+        proptest::collection::vec(any::<i32>(), 8),
+    )
+        .prop_map(|(n_in, var, n_out, ret, ints)| {
+            let mut params = Vec::new();
+            let mut args = Vec::new();
+            let mut outs = Vec::new();
+            for (i, &v) in ints.iter().enumerate().take(n_in) {
+                params.push(format!("a{i}: int32"));
+                args.push(Value::Int32(v));
+            }
+            if let Some(v) = &var {
+                params.push("data: var bytes[64]".to_string());
+                args.push(Value::Var(v.clone()));
+            }
+            let base = args.len();
+            for i in 0..n_out {
+                params.push(format!("o{i}: out int32"));
+                args.push(Value::Int32(0));
+                outs.push((base + i, Value::Int32(ints[4 + i])));
+            }
+            let ret_clause = if ret.is_some() { " -> int32" } else { "" };
+            let src = format!(
+                "interface P {{ procedure F({}){}; }}",
+                params.join(", "),
+                ret_clause
+            );
+            (src, args, ret.map(Value::Int32), outs)
+        })
+}
+
+proptest! {
+    #[test]
+    fn marshal_roundtrips_over_generated_signatures(
+        (src, args, ret, outs) in signature_and_values()
+    ) {
+        let iface = compile(&idl::parse(&src).expect("generated IDL parses"));
+        let proc = &iface.procs[0];
+
+        // Call direction.
+        let wire = marshal_args(proc, &args).expect("marshal");
+        let back = unmarshal_args(proc, &wire).expect("unmarshal");
+        for ((v, b), p) in args.iter().zip(&back).zip(&proc.def.params) {
+            if p.dir.is_in() {
+                prop_assert_eq!(v, b, "in-params roundtrip");
+            }
+        }
+
+        // Reply direction.
+        let reply = marshal_reply(proc, ret.as_ref(), &outs).expect("marshal reply");
+        let (ret_back, outs_back) = unmarshal_reply(proc, &reply).expect("unmarshal reply");
+        prop_assert_eq!(ret_back, ret);
+        prop_assert_eq!(outs_back, outs);
+    }
+
+    #[test]
+    fn unmarshal_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        (src, _, _, _) in signature_and_values(),
+    ) {
+        let iface = compile(&idl::parse(&src).expect("parses"));
+        let _ = unmarshal_args(&iface.procs[0], &bytes);
+        let _ = unmarshal_reply(&iface.procs[0], &bytes);
+    }
+}

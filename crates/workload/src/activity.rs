@@ -1,0 +1,196 @@
+//! Cross-domain vs cross-machine activity models (Section 2.1, Table 1).
+//!
+//! The paper instruments three systems and concludes that "most calls go
+//! to targets on the same node":
+//!
+//! * **V** — "97% of calls crossed protection, but not machine,
+//!   boundaries" (Williamson's instrumented kernel);
+//! * **Taos** — "During one five-hour work period, we counted 344,888
+//!   local RPC calls, but only 18,366 network RPCs. Cross-machine RPCs
+//!   thus accounted for only 5.3% of all communication activity" (note:
+//!   18,366 / 344,888 = 5.3 % — the paper divides by the *local* count);
+//! * **UNIX+NFS** — "during a period of four days we observed over 100
+//!   million operating system calls, but fewer than one million RPCs to
+//!   file servers" (0.6 %).
+
+use rand::distributions::{Bernoulli, Distribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One observed operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// A call crossing protection domains on the same machine.
+    CrossDomain,
+    /// A call crossing machine boundaries.
+    CrossMachine,
+}
+
+/// How a model's published percentage was computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PercentBasis {
+    /// Remote operations over all operations.
+    OfTotal,
+    /// Remote operations over local operations (the arithmetic the paper
+    /// uses for the Taos measurement).
+    OfLocal,
+}
+
+/// An instrumented-system activity model.
+#[derive(Clone, Copy, Debug)]
+pub struct ActivityModel {
+    /// System name as printed in Table 1.
+    pub system: &'static str,
+    /// Observation period.
+    pub period: &'static str,
+    /// Local (cross-domain) operations observed.
+    pub local_ops: u64,
+    /// Remote (cross-machine) operations observed.
+    pub remote_ops: u64,
+    /// How the paper computed the percentage.
+    pub basis: PercentBasis,
+}
+
+impl ActivityModel {
+    /// The V system (Table 1: 3 %).
+    ///
+    /// Williamson reports the 97 % cross-domain share; absolute counts are
+    /// synthetic (one million operations) at that ratio.
+    pub const fn v_system() -> ActivityModel {
+        ActivityModel {
+            system: "V",
+            period: "instrumented kernel (Williamson)",
+            local_ops: 970_000,
+            remote_ops: 30_000,
+            basis: PercentBasis::OfTotal,
+        }
+    }
+
+    /// Taos on the Firefly (Table 1: 5.3 %) — the paper's own five-hour
+    /// measurement, with its remote/local arithmetic.
+    pub const fn taos() -> ActivityModel {
+        ActivityModel {
+            system: "Taos",
+            period: "five-hour work period",
+            local_ops: 344_888,
+            remote_ops: 18_366,
+            basis: PercentBasis::OfLocal,
+        }
+    }
+
+    /// Sun UNIX+NFS (Table 1: 0.6 %) — over 100 million system calls and
+    /// fewer than one million file-server RPCs in four days.
+    pub const fn unix_nfs() -> ActivityModel {
+        ActivityModel {
+            system: "Sun UNIX+NFS",
+            period: "four days, diskless Sun-3",
+            local_ops: 104_400_000,
+            remote_ops: 600_000,
+            basis: PercentBasis::OfTotal,
+        }
+    }
+
+    /// The three Table 1 rows.
+    pub fn table_1_systems() -> [ActivityModel; 3] {
+        [
+            ActivityModel::v_system(),
+            ActivityModel::taos(),
+            ActivityModel::unix_nfs(),
+        ]
+    }
+
+    /// Total observed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.local_ops + self.remote_ops
+    }
+
+    /// The percentage of operations that cross machine boundaries,
+    /// computed the way the paper computed it.
+    pub fn cross_machine_percent(&self) -> f64 {
+        let denom = match self.basis {
+            PercentBasis::OfTotal => self.total_ops(),
+            PercentBasis::OfLocal => self.local_ops,
+        };
+        100.0 * self.remote_ops as f64 / denom as f64
+    }
+
+    /// The probability that any one operation is cross-machine.
+    pub fn cross_machine_prob(&self) -> f64 {
+        self.remote_ops as f64 / self.total_ops() as f64
+    }
+
+    /// Generates a synthetic operation stream with this model's mix.
+    pub fn sample(&self, seed: u64, n: usize) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Bernoulli::new(self.cross_machine_prob()).expect("probability in [0,1]");
+        (0..n)
+            .map(|_| {
+                if dist.sample(&mut rng) {
+                    Op::CrossMachine
+                } else {
+                    Op::CrossDomain
+                }
+            })
+            .collect()
+    }
+}
+
+/// Counts an operation stream the way an instrumented kernel would.
+pub fn count_ops(ops: &[Op]) -> (u64, u64) {
+    let remote = ops.iter().filter(|o| **o == Op::CrossMachine).count() as u64;
+    (ops.len() as u64 - remote, remote)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_percentages_match_the_paper() {
+        let rows = ActivityModel::table_1_systems();
+        let expect = [("V", 3.0), ("Taos", 5.3), ("Sun UNIX+NFS", 0.6)];
+        for (m, (name, pct)) in rows.iter().zip(expect) {
+            assert_eq!(m.system, name);
+            let got = (m.cross_machine_percent() * 10.0).round() / 10.0;
+            assert_eq!(got, pct, "{name}: {}", m.cross_machine_percent());
+        }
+    }
+
+    #[test]
+    fn taos_counts_are_the_published_ones() {
+        let t = ActivityModel::taos();
+        assert_eq!(t.local_ops, 344_888);
+        assert_eq!(t.remote_ops, 18_366);
+    }
+
+    #[test]
+    fn sampled_streams_converge_to_the_model() {
+        for m in ActivityModel::table_1_systems() {
+            let ops = m.sample(42, 200_000);
+            let (_, remote) = count_ops(&ops);
+            let measured = 100.0 * remote as f64 / ops.len() as f64;
+            let expected = 100.0 * m.cross_machine_prob();
+            assert!(
+                (measured - expected).abs() < 0.25,
+                "{}: sampled {measured:.2}% vs model {expected:.2}%",
+                m.system
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = ActivityModel::taos();
+        assert_eq!(m.sample(7, 1000), m.sample(7, 1000));
+        assert_ne!(m.sample(7, 1000), m.sample(8, 1000));
+    }
+
+    #[test]
+    fn cross_domain_dominates_everywhere() {
+        // The paper's conclusion: cross-domain activity dominates in every
+        // measured system.
+        for m in ActivityModel::table_1_systems() {
+            assert!(m.cross_machine_prob() < 0.06, "{}", m.system);
+        }
+    }
+}

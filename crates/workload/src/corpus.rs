@@ -1,0 +1,317 @@
+//! The synthetic interface corpus (Section 2.2).
+//!
+//! The paper studies SRC RPC "as used by the Taos operating system and its
+//! clients ... 28 RPC services defining 366 procedures involving over 1000
+//! parameters", and reports these static properties:
+//!
+//! * four out of five parameters were of fixed size known at compile time;
+//! * sixty-five percent were four bytes or fewer;
+//! * two-thirds of all procedures passed only parameters of fixed size;
+//! * sixty percent transferred 32 or fewer bytes;
+//! * no data types were recursively defined so as to require recursive
+//!   marshaling by machine-generated code (recursive types were passed,
+//!   but marshaled by system library procedures).
+//!
+//! And dynamically: 1,487,105 calls in four days hit 112 distinct
+//! procedures; 95 % of calls went to ten procedures and 75 % to just
+//! three, none of which needed to marshal complex arguments.
+//!
+//! [`generate_corpus`] constructs a corpus with exactly those static
+//! properties out of real [`idl`] definitions, so the Section 2.2
+//! statistics *emerge* from measuring the corpus with the same APIs the
+//! stub generator uses.
+
+use idl::ast::{InterfaceDef, Param, ProcDef};
+use idl::types::{ComplexKind, Ty};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Services in the studied system.
+pub const SERVICES: usize = 28;
+
+/// Procedures across all services.
+pub const PROCEDURES: usize = 366;
+
+/// Distinct procedures actually called during the four-day trace.
+pub const CALLED_PROCEDURES: usize = 112;
+
+/// Builds the corpus: 28 interfaces, 366 procedures, 1060 parameters, with
+/// the Section 2.2 static quotas baked in.
+pub fn generate_corpus() -> Vec<InterfaceDef> {
+    let mut procs: Vec<ProcDef> = Vec::with_capacity(PROCEDURES);
+    let small = || Ty::Int32;
+    let mut n = 0usize;
+    let mut name = move |prefix: &str| {
+        n += 1;
+        format!("{prefix}{n:03}")
+    };
+
+    // Class S1: 135 small procedures with three scalar parameters
+    // (all fixed, ≤ 32 bytes transferred).
+    for _ in 0..135 {
+        procs.push(ProcDef::new(
+            name("Get"),
+            vec![
+                Param::value("handle", small()),
+                Param::value("index", small()),
+                Param::value("flags", small()),
+            ],
+            Some(Ty::Int32),
+        ));
+    }
+    // Class S2: 85 small procedures with one scalar and one 16-byte array
+    // (all fixed, ≤ 32 bytes).
+    for _ in 0..85 {
+        procs.push(ProcDef::new(
+            name("Set"),
+            vec![
+                Param::value("handle", small()),
+                Param::value("name", Ty::ByteArray(16)),
+            ],
+            Some(Ty::Int32),
+        ));
+    }
+    // Class M: 24 fixed procedures that move more than 32 bytes.
+    for _ in 0..24 {
+        procs.push(ProcDef::new(
+            name("Copy"),
+            vec![
+                Param::value("handle", small()),
+                Param::value("block", Ty::ByteArray(64)),
+            ],
+            None,
+        ));
+    }
+    // Class V: 122 procedures with at least one variable-size parameter.
+    // 175 extra scalars and 50 extra mid-size fixed arrays are spread
+    // round-robin; 90 of the procedures get a second variable parameter,
+    // and 6 carry a complex (library-marshaled) type.
+    for i in 0..122 {
+        let mut params = vec![Param::value("buf", Ty::VarBytes(1024))];
+        if i < 90 {
+            params.push(Param::value("aux", Ty::VarBytes(256)));
+        }
+        // 175 scalars over 122 procedures: one each, plus a second for the
+        // first 53.
+        params.push(Param::value("handle", small()));
+        if i < 53 {
+            params.push(Param::value("offset", small()));
+        }
+        // 50 mid-size fixed arrays on the first 50.
+        if i < 50 {
+            params.push(Param::value("hdr", Ty::ByteArray(24)));
+        }
+        // 6 complex parameters, marshaled by library code.
+        if i >= 116 {
+            params.push(Param::value("props", Ty::Complex(ComplexKind::LinkedList)));
+        }
+        procs.push(ProcDef::new(name("Send"), params, None));
+    }
+
+    assert_eq!(procs.len(), PROCEDURES);
+
+    // Distribute over 28 services round-robin so every service mixes
+    // classes, then name them.
+    let mut interfaces: Vec<InterfaceDef> = (0..SERVICES)
+        .map(|i| InterfaceDef::new(format!("Service{i:02}"), Vec::new()))
+        .collect();
+    for (i, p) in procs.into_iter().enumerate() {
+        interfaces[i % SERVICES].procs.push(p);
+    }
+    interfaces
+}
+
+/// Static statistics of a corpus, measured the way Section 2.2 reports
+/// them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Total services.
+    pub services: usize,
+    /// Total procedures.
+    pub procedures: usize,
+    /// Total declared parameters.
+    pub parameters: usize,
+    /// Share of parameters with compile-time-known size.
+    pub fixed_param_share: f64,
+    /// Share of parameters of four bytes or fewer.
+    pub small_param_share: f64,
+    /// Share of procedures passing only fixed-size parameters.
+    pub all_fixed_proc_share: f64,
+    /// Share of procedures transferring 32 bytes or fewer.
+    pub small_transfer_proc_share: f64,
+    /// Parameters of complex (library-marshaled) type.
+    pub complex_params: usize,
+}
+
+/// Measures a corpus.
+pub fn measure(corpus: &[InterfaceDef]) -> CorpusStats {
+    let procs: Vec<&ProcDef> = corpus.iter().flat_map(|i| &i.procs).collect();
+    let params: Vec<&Param> = procs.iter().flat_map(|p| &p.params).collect();
+    let n_params = params.len().max(1);
+    let n_procs = procs.len().max(1);
+    let fixed = params
+        .iter()
+        .filter(|p| p.ty.fixed_size().is_some())
+        .count();
+    let small = params
+        .iter()
+        .filter(|p| p.ty.fixed_size().is_some_and(|s| s <= 4))
+        .count();
+    let all_fixed = procs.iter().filter(|p| p.all_fixed_size()).count();
+    let small_transfer = procs
+        .iter()
+        .filter(|p| p.fixed_transfer_bytes().is_some_and(|b| b <= 32))
+        .count();
+    let complex = params.iter().filter(|p| p.ty.is_complex()).count();
+    CorpusStats {
+        services: corpus.len(),
+        procedures: procs.len(),
+        parameters: params.len(),
+        fixed_param_share: fixed as f64 / n_params as f64,
+        small_param_share: small as f64 / n_params as f64,
+        all_fixed_proc_share: all_fixed as f64 / n_procs as f64,
+        small_transfer_proc_share: small_transfer as f64 / n_procs as f64,
+        complex_params: complex,
+    }
+}
+
+/// The dynamic call-popularity model: 75 % of calls to three procedures,
+/// 95 % to ten, 112 distinct procedures called.
+pub struct PopularityModel {
+    weights: Vec<f64>,
+}
+
+impl PopularityModel {
+    /// The Section 2.2 model.
+    pub fn section_2_2() -> PopularityModel {
+        // Top three procedures carry 75 %; the next seven bring the top
+        // ten to 95 %; the remaining 102 share the last 5 %.
+        let mut weights = vec![0.25; 3];
+        weights.extend(std::iter::repeat_n(0.20 / 7.0, 7));
+        weights.extend(std::iter::repeat_n(
+            0.05 / (CALLED_PROCEDURES - 10) as f64,
+            CALLED_PROCEDURES - 10,
+        ));
+        PopularityModel { weights }
+    }
+
+    /// Number of procedures that are ever called.
+    pub fn called(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Share of calls going to the `k` most popular procedures.
+    pub fn top_share(&self, k: usize) -> f64 {
+        self.weights.iter().take(k).sum()
+    }
+
+    /// Samples `n` calls, returning popularity ranks (0 = most popular).
+    pub fn sample(&self, seed: u64, n: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = WeightedIndex::new(&self.weights).expect("positive weights");
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape_matches_the_paper() {
+        let corpus = generate_corpus();
+        let stats = measure(&corpus);
+        assert_eq!(stats.services, 28);
+        assert_eq!(stats.procedures, 366);
+        assert!(
+            stats.parameters > 1000,
+            "over 1000 parameters: {}",
+            stats.parameters
+        );
+    }
+
+    #[test]
+    fn static_properties_match_section_2_2() {
+        let stats = measure(&generate_corpus());
+        // "Four out of five parameters were of fixed size."
+        assert!(
+            (stats.fixed_param_share - 0.80).abs() < 0.01,
+            "{}",
+            stats.fixed_param_share
+        );
+        // "Sixty-five percent were four bytes or fewer."
+        assert!(
+            (stats.small_param_share - 0.65).abs() < 0.01,
+            "{}",
+            stats.small_param_share
+        );
+        // "Two-thirds of all procedures passed only parameters of fixed size."
+        assert!(
+            (stats.all_fixed_proc_share - 2.0 / 3.0).abs() < 0.01,
+            "{}",
+            stats.all_fixed_proc_share
+        );
+        // "Sixty percent transferred 32 or fewer bytes."
+        assert!(
+            (stats.small_transfer_proc_share - 0.60).abs() < 0.01,
+            "{}",
+            stats.small_transfer_proc_share
+        );
+    }
+
+    #[test]
+    fn recursive_types_exist_but_only_behind_library_marshaling() {
+        let corpus = generate_corpus();
+        let stats = measure(&corpus);
+        assert!(
+            stats.complex_params > 0,
+            "recursive types are passed through interfaces"
+        );
+        // Every complex parameter forces the Modula2+ (library) path in
+        // the stub generator — never machine-generated recursion.
+        for iface in &corpus {
+            let compiled = idl::compile(iface);
+            for (proc, compiled_proc) in iface.procs.iter().zip(&compiled.procs) {
+                if proc.has_complex() {
+                    assert_eq!(compiled_proc.lang, idl::StubLang::Modula2Plus);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_concentrates_like_the_trace() {
+        let m = PopularityModel::section_2_2();
+        assert_eq!(m.called(), 112);
+        assert!((m.top_share(3) - 0.75).abs() < 1e-9);
+        assert!((m.top_share(10) - 0.95).abs() < 1e-9);
+        let calls = m.sample(11, 300_000);
+        let mut counts = vec![0u64; m.called()];
+        for c in &calls {
+            counts[*c] += 1;
+        }
+        let total = calls.len() as f64;
+        let top3: u64 = counts[..3].iter().sum();
+        let top10: u64 = counts[..10].iter().sum();
+        assert!((top3 as f64 / total - 0.75).abs() < 0.01);
+        assert!((top10 as f64 / total - 0.95).abs() < 0.01);
+        // All 112 procedures eventually get called.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn top_three_procedures_are_simple() {
+        // "None of the stubs for these three were required to marshal
+        // complex arguments — byte copying was sufficient." Ranks map onto
+        // the corpus in declaration order, and the first procedures are
+        // the small scalar ones.
+        let corpus = generate_corpus();
+        let all: Vec<&ProcDef> = corpus.iter().flat_map(|i| &i.procs).collect();
+        // Round-robin distribution preserves class order per service; the
+        // first three procedures of the flattened corpus are class S1.
+        for p in all.iter().take(3) {
+            assert!(p.all_fixed_size() && !p.has_complex());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Full call-trace generation.
+//!
+//! Combines the three measured dimensions of Section 2 — how often calls
+//! cross machines (Table 1), how big they are (Figure 1), and how
+//! concentrated they are on a few procedures (Section 2.2) — into one
+//! synthetic trace that a transport can replay. This is the closest
+//! equivalent to the paper's original four-day Taos trace that the
+//! published aggregates allow reconstructing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::activity::ActivityModel;
+use crate::corpus::PopularityModel;
+use crate::sizes::SizeDistribution;
+
+/// One call in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallEvent {
+    /// Popularity rank of the procedure called (0 = most popular).
+    pub proc_rank: usize,
+    /// Total argument/result bytes the call transfers.
+    pub bytes: u32,
+    /// True if the call crosses machine boundaries.
+    pub remote: bool,
+}
+
+/// A generated trace.
+#[derive(Clone, Debug)]
+pub struct CallTrace {
+    /// Events in arrival order.
+    pub events: Vec<CallEvent>,
+}
+
+impl CallTrace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Share of remote calls.
+    pub fn remote_share(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().filter(|e| e.remote).count() as f64 / self.events.len() as f64
+    }
+
+    /// Mean transfer size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| f64::from(e.bytes)).sum::<f64>() / self.events.len() as f64
+    }
+
+    /// Share of calls going to the top `k` procedures.
+    pub fn top_share(&self, k: usize) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().filter(|e| e.proc_rank < k).count() as f64 / self.events.len() as f64
+    }
+}
+
+/// A trace generator over the three measured dimensions.
+pub struct TraceModel {
+    /// Cross-machine mix.
+    pub activity: ActivityModel,
+    /// Per-call transfer sizes.
+    pub sizes: SizeDistribution,
+    /// Procedure popularity.
+    pub popularity: PopularityModel,
+}
+
+impl TraceModel {
+    /// The Taos-like model of the paper's own measurements.
+    pub fn taos() -> TraceModel {
+        TraceModel {
+            activity: ActivityModel::taos(),
+            sizes: SizeDistribution::figure_1(),
+            popularity: PopularityModel::section_2_2(),
+        }
+    }
+
+    /// Generates `n` calls with a fixed seed.
+    pub fn generate(&self, seed: u64, n: usize) -> CallTrace {
+        let mut size_rng = StdRng::seed_from_u64(seed ^ 0x5153_455A);
+        let ranks = self.popularity.sample(seed ^ 0x504F_5055, n);
+        let remotes = self.activity.sample(seed ^ 0x4143_5449, n);
+        let events = ranks
+            .into_iter()
+            .zip(remotes)
+            .map(|(proc_rank, op)| CallEvent {
+                proc_rank,
+                bytes: self.sizes.sample_one(&mut size_rng),
+                remote: op == crate::activity::Op::CrossMachine,
+            })
+            .collect();
+        CallTrace { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taos_trace_matches_all_three_dimensions() {
+        let trace = TraceModel::taos().generate(7, 100_000);
+        assert_eq!(trace.len(), 100_000);
+        // Table 1: ~5% of operations are remote.
+        let remote = trace.remote_share();
+        assert!((0.04..=0.06).contains(&remote), "remote share {remote}");
+        // Section 2.2: 75% of calls to three procedures.
+        let top3 = trace.top_share(3);
+        assert!((0.73..=0.77).contains(&top3), "top-3 share {top3}");
+        // Figure 1: mean size in the low hundreds of bytes.
+        let mean = trace.mean_bytes();
+        assert!((150.0..=350.0).contains(&mean), "mean bytes {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = TraceModel::taos();
+        assert_eq!(m.generate(1, 1000).events, m.generate(1, 1000).events);
+        assert_ne!(m.generate(1, 1000).events, m.generate(2, 1000).events);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_safe() {
+        let t = CallTrace { events: Vec::new() };
+        assert!(t.is_empty());
+        assert_eq!(t.remote_share(), 0.0);
+        assert_eq!(t.mean_bytes(), 0.0);
+        assert_eq!(t.top_share(3), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The uncommon cases: domain termination and captured threads.
+//!
+//! ```text
+//! cargo run --example domain_termination
+//! ```
+//!
+//! Section 5.3: "A domain can terminate at any time ... If the
+//! terminating domain is a server handling an LRPC request, the call,
+//! completed or not, must return to the client domain." And: "It is
+//! therefore possible for one domain to 'capture' another's thread and
+//! hold it indefinitely" — the recovery is a replacement thread that
+//! resumes in the client with a call-aborted exception.
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use lrpc::{CallError, Handler, LrpcRuntime, Reply, ServerCtx};
+use parking_lot::{Condvar, Mutex};
+
+fn main() {
+    // ---- Part 1: terminating a server revokes its bindings -----------
+    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::new(kernel);
+
+    let server = rt.kernel().create_domain("flaky-server");
+    rt.export(
+        &server,
+        "interface Flaky { procedure Work() -> int32; }",
+        vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::value(Value::Int32(7)))) as Handler],
+    )
+    .expect("export");
+    let client = rt.kernel().create_domain("client");
+    let thread = rt.kernel().spawn_thread(&client);
+    let binding = rt.import(&client, "Flaky").expect("import");
+
+    let ok = binding
+        .call(0, &thread, "Work", &[])
+        .expect("server is alive");
+    println!("before termination: Work() -> {:?}", ok.ret);
+
+    // The server hits an unhandled exception (or the user types CTRL-C).
+    let report = rt.terminate_domain(&server);
+    println!(
+        "server terminated: {} region(s) reclaimed, {} linkage(s) invalidated",
+        report.regions_freed, report.linkages_invalidated
+    );
+
+    match binding.call(0, &thread, "Work", &[]) {
+        Err(e) => println!("after termination: Work() raises `{e}`"),
+        Ok(_) => unreachable!("revoked bindings cannot be called"),
+    }
+
+    // ---- Part 2: captured-thread recovery ----------------------------
+    let capturer = rt.kernel().create_domain("capturer");
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let gate_server = Arc::clone(&gate);
+    rt.export(
+        &capturer,
+        "interface Tarpit { procedure Hold(); }",
+        vec![Box::new(move |_: &ServerCtx, _: &[Value]| {
+            // The server never returns until released — it has captured
+            // the caller's thread.
+            let (lock, cv) = &*gate_server;
+            let mut released = lock.lock();
+            while !*released {
+                cv.wait(&mut released);
+            }
+            Ok(Reply::none())
+        }) as Handler],
+    )
+    .expect("export");
+
+    let victim_thread = rt.kernel().spawn_thread(&client);
+    let tarpit = rt.import(&client, "Tarpit").expect("import");
+
+    let captured = Arc::clone(&victim_thread);
+    let call = std::thread::spawn(move || tarpit.call(1, &captured, "Hold", &[]));
+    while victim_thread.current_domain() != capturer.id() {
+        std::thread::yield_now();
+    }
+    println!(
+        "\nthread {:?} is captured inside {:?}",
+        victim_thread.id(),
+        capturer.name()
+    );
+
+    // The client gives up: the kernel builds a replacement thread whose
+    // state is "as if it had just returned ... with a call-aborted
+    // exception".
+    let replacement = rt
+        .abandon_captured(&victim_thread)
+        .expect("thread is mid-call");
+    println!(
+        "replacement thread {:?} resumes in {:?} with call depth {}",
+        replacement.id(),
+        client.name(),
+        replacement.call_depth()
+    );
+
+    // When the capturer finally releases the original thread, the kernel
+    // destroys it and the outstanding call reports call-aborted.
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+    match call.join().expect("no panic") {
+        Err(CallError::CallAborted) => {
+            println!("released captured thread: call-aborted, thread destroyed")
+        }
+        other => unreachable!("expected call-aborted, got {other:?}"),
+    }
+    println!("captured thread status: {:?}", victim_thread.status());
+}

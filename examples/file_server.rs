@@ -1,0 +1,226 @@
+//! A Taos-style file server behind an LRPC interface.
+//!
+//! ```text
+//! cargo run --example file_server
+//! ```
+//!
+//! The paper's Section 3.5 uses the file server's `Write` as the canonical
+//! `noninterpreted` argument: "The array itself is not interpreted by the
+//! server, which is made no more secure by an assurance that the bytes
+//! won't change during the call. Copying is unnecessary in this case."
+//! This example builds a small in-memory file system in its own protection
+//! domain, exports it over LRPC, and shows the copy behaviour of
+//! interpreted vs noninterpreted arguments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use firefly::cpu::Machine;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use lrpc::{CallError, Handler, LrpcRuntime, Reply, ServerCtx};
+use parking_lot::Mutex;
+
+const FILE_SERVER_IDL: &str = r#"
+    interface FileServer {
+        # Open returns a handle; the path is interpreted (it is parsed),
+        # so the server stub makes a defensive copy.
+        procedure Open(path: in var bytes[256]) -> int32;
+        # Write's data is not interpreted; byte copying onto the shared
+        # A-stack is sufficient (Section 3.5).
+        [astacks = 8]
+        procedure Write(handle: int32, data: in var bytes[1024] noninterpreted) -> int32;
+        procedure Read(handle: int32, count: int32, data: out bytes[1024]) -> int32;
+        procedure Size(handle: int32) -> int32;
+        procedure Close(handle: int32);
+    }
+"#;
+
+/// The server's private state: a handle table of in-memory files.
+#[derive(Default)]
+struct Fs {
+    next_handle: i32,
+    open: HashMap<i32, String>,
+    files: HashMap<String, Vec<u8>>,
+}
+
+fn as_i32(v: &Value) -> Result<i32, CallError> {
+    match v {
+        Value::Int32(x) => Ok(*x),
+        other => Err(CallError::ServerFault(format!(
+            "expected int32, got {other:?}"
+        ))),
+    }
+}
+
+fn handlers(fs: Arc<Mutex<Fs>>) -> Vec<Handler> {
+    let open_fs = Arc::clone(&fs);
+    let write_fs = Arc::clone(&fs);
+    let read_fs = Arc::clone(&fs);
+    let size_fs = Arc::clone(&fs);
+    let close_fs = fs;
+    vec![
+        // Open(path) -> handle
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Var(path) = &args[0] else {
+                return Err(CallError::ServerFault("bad path".into()));
+            };
+            let path = String::from_utf8_lossy(path).into_owned();
+            let mut fs = open_fs.lock();
+            fs.next_handle += 1;
+            let h = fs.next_handle;
+            fs.files.entry(path.clone()).or_default();
+            fs.open.insert(h, path);
+            Ok(Reply::value(Value::Int32(h)))
+        }),
+        // Write(handle, data) -> bytes written
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let h = as_i32(&args[0])?;
+            let Value::Var(data) = &args[1] else {
+                return Err(CallError::ServerFault("bad data".into()));
+            };
+            let mut fs = write_fs.lock();
+            let path = fs
+                .open
+                .get(&h)
+                .cloned()
+                .ok_or(CallError::ServerFault("bad handle".into()))?;
+            let file = fs.files.get_mut(&path).expect("open file exists");
+            file.extend_from_slice(data);
+            Ok(Reply::value(Value::Int32(data.len() as i32)))
+        }),
+        // Read(handle, count, out data) -> bytes read
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let h = as_i32(&args[0])?;
+            let count = as_i32(&args[1])?.clamp(0, 1024) as usize;
+            let fs = read_fs.lock();
+            let path = fs
+                .open
+                .get(&h)
+                .ok_or(CallError::ServerFault("bad handle".into()))?;
+            let file = &fs.files[path];
+            let n = count.min(file.len());
+            let mut buf = vec![0u8; 1024];
+            buf[..n].copy_from_slice(&file[..n]);
+            Ok(Reply::value(Value::Int32(n as i32)).with_out(2, Value::Bytes(buf)))
+        }),
+        // Size(handle) -> bytes
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let h = as_i32(&args[0])?;
+            let fs = size_fs.lock();
+            let path = fs
+                .open
+                .get(&h)
+                .ok_or(CallError::ServerFault("bad handle".into()))?;
+            Ok(Reply::value(Value::Int32(fs.files[path].len() as i32)))
+        }),
+        // Close(handle)
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let h = as_i32(&args[0])?;
+            close_fs.lock().open.remove(&h);
+            Ok(Reply::none())
+        }),
+    ]
+}
+
+fn main() {
+    let kernel = Kernel::new(Machine::cvax_firefly());
+    let rt = LrpcRuntime::new(kernel);
+
+    let server = rt.kernel().create_domain("file-server");
+    rt.export(
+        &server,
+        FILE_SERVER_IDL,
+        handlers(Arc::new(Mutex::new(Fs::default()))),
+    )
+    .expect("export FileServer");
+
+    let client = rt.kernel().create_domain("editor");
+    let thread = rt.kernel().spawn_thread(&client);
+    let fsrv = rt.import(&client, "FileServer").expect("import FileServer");
+
+    // Open a file.
+    let open = fsrv
+        .call(
+            0,
+            &thread,
+            "Open",
+            &[Value::Var(b"/notes/todo.txt".to_vec())],
+        )
+        .expect("Open");
+    let Some(Value::Int32(handle)) = open.ret else {
+        panic!("Open returns a handle")
+    };
+    println!(
+        "Open(/notes/todo.txt) -> handle {handle} ({})",
+        open.elapsed
+    );
+
+    // Write noninterpreted bytes: one copy (A), straight onto the A-stack.
+    let payload = b"1. reproduce LRPC\n2. ship it\n".to_vec();
+    let write = fsrv
+        .call(
+            0,
+            &thread,
+            "Write",
+            &[Value::Int32(handle), Value::Var(payload.clone())],
+        )
+        .expect("Write");
+    println!(
+        "Write({} bytes) -> {:?} ({}; copy operations: {})",
+        payload.len(),
+        write.ret,
+        write.elapsed,
+        write.copies.letters_string()
+    );
+
+    // Read it back through an out parameter.
+    let read = fsrv
+        .call(
+            0,
+            &thread,
+            "Read",
+            &[
+                Value::Int32(handle),
+                Value::Int32(1024),
+                Value::Bytes(vec![0; 1024]),
+            ],
+        )
+        .expect("Read");
+    let Some(Value::Int32(n)) = read.ret else {
+        panic!("Read returns a count")
+    };
+    let Some((_, Value::Bytes(buf))) = read.outs.first() else {
+        panic!("Read fills data")
+    };
+    println!(
+        "Read -> {n} bytes: {:?} ({})",
+        String::from_utf8_lossy(&buf[..n as usize]),
+        read.elapsed
+    );
+
+    let size = fsrv
+        .call(0, &thread, "Size", &[Value::Int32(handle)])
+        .expect("Size");
+    println!("Size -> {:?}", size.ret);
+
+    fsrv.call(0, &thread, "Close", &[Value::Int32(handle)])
+        .expect("Close");
+    println!("Close -> ok");
+
+    // The Open path *interprets* its argument, so its copy log shows the
+    // defensive server copy (E) that Write avoids.
+    let open2 = fsrv
+        .call(
+            0,
+            &thread,
+            "Open",
+            &[Value::Var(b"/notes/other.txt".to_vec())],
+        )
+        .expect("Open");
+    println!(
+        "\ncopy operations: Open (interpreted path) = {}, Write (noninterpreted) = {}",
+        open2.copies.letters_string(),
+        write.copies.letters_string()
+    );
+}

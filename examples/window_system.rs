@@ -1,0 +1,279 @@
+//! A window system behind LRPC — one of the Taos subsystems the paper
+//! lists ("domain management, local and remote file systems, window
+//! management, network protocols, etc.").
+//!
+//! ```text
+//! cargo run --example window_system
+//! ```
+//!
+//! Window systems are chatty: many small calls carrying handles and tiny
+//! records — exactly the Section 2.2 common case that motivates LRPC. This
+//! example runs a synthetic interactive session against a window server in
+//! its own protection domain and reports the aggregate communication cost
+//! under LRPC versus what the SRC RPC baseline would have charged.
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use lrpc::{CallError, Handler, LrpcRuntime, Reply, ServerCtx};
+use msgrpc::{MsgRpcCost, MsgRpcSystem};
+use parking_lot::Mutex;
+
+const WINDOW_IDL: &str = r#"
+    interface WindowSystem {
+        procedure CreateWindow(width: int16, height: int16) -> int32;
+        [astacks = 10]
+        procedure MoveWindow(handle: int32, x: int16, y: int16);
+        procedure RaiseWindow(handle: int32);
+        procedure GetGeometry(handle: int32)
+            -> record { x: int16, y: int16, width: int16, height: int16 };
+        [astacks = 10]
+        procedure DrawText(handle: int32, text: in var bytes[200] noninterpreted);
+        procedure DestroyWindow(handle: int32);
+    }
+"#;
+
+#[derive(Clone, Copy, Default)]
+struct Win {
+    x: i16,
+    y: i16,
+    w: i16,
+    h: i16,
+    alive: bool,
+}
+
+fn window_handlers(state: Arc<Mutex<Vec<Win>>>) -> Vec<Handler> {
+    let s_create = Arc::clone(&state);
+    let s_move = Arc::clone(&state);
+    let s_raise = Arc::clone(&state);
+    let s_geom = Arc::clone(&state);
+    let s_draw = Arc::clone(&state);
+    let s_destroy = state;
+    let get = |s: &Mutex<Vec<Win>>, h: i32| -> Result<Win, CallError> {
+        s.lock()
+            .get(h as usize)
+            .copied()
+            .filter(|w| w.alive)
+            .ok_or(CallError::ServerFault(format!("bad window handle {h}")))
+    };
+    vec![
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let (Value::Int16(w), Value::Int16(h)) = (&args[0], &args[1]) else {
+                unreachable!()
+            };
+            let mut windows = s_create.lock();
+            windows.push(Win {
+                x: 0,
+                y: 0,
+                w: *w,
+                h: *h,
+                alive: true,
+            });
+            Ok(Reply::value(Value::Int32(windows.len() as i32 - 1)))
+        }),
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!()
+            };
+            let (Value::Int16(x), Value::Int16(y)) = (&args[1], &args[2]) else {
+                unreachable!()
+            };
+            let mut windows = s_move.lock();
+            let win = windows
+                .get_mut(h as usize)
+                .filter(|w| w.alive)
+                .ok_or(CallError::ServerFault("bad handle".into()))?;
+            win.x = *x;
+            win.y = *y;
+            Ok(Reply::none())
+        }),
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!()
+            };
+            get(&s_raise, h)?;
+            Ok(Reply::none())
+        }),
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!()
+            };
+            let w = get(&s_geom, h)?;
+            Ok(Reply::value(Value::Record(vec![
+                Value::Int16(w.x),
+                Value::Int16(w.y),
+                Value::Int16(w.w),
+                Value::Int16(w.h),
+            ])))
+        }),
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!()
+            };
+            get(&s_draw, h)?;
+            Ok(Reply::none())
+        }),
+        Box::new(move |_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!()
+            };
+            let mut windows = s_destroy.lock();
+            if let Some(w) = windows.get_mut(h as usize) {
+                w.alive = false;
+            }
+            Ok(Reply::none())
+        }),
+    ]
+}
+
+fn main() {
+    let kernel = Kernel::new(Machine::cvax_firefly());
+    let rt = LrpcRuntime::new(kernel);
+
+    let server = rt.kernel().create_domain("window-system");
+    rt.export(
+        &server,
+        WINDOW_IDL,
+        window_handlers(Arc::new(Mutex::new(Vec::new()))),
+    )
+    .expect("export WindowSystem");
+    let app = rt.kernel().create_domain("terminal-emulator");
+    let thread = rt.kernel().spawn_thread(&app);
+    let ws = rt.import(&app, "WindowSystem").expect("import");
+
+    // An interactive session: create a window, drag it around, draw text.
+    let created = ws
+        .call(
+            0,
+            &thread,
+            "CreateWindow",
+            &[Value::Int16(640), Value::Int16(480)],
+        )
+        .expect("CreateWindow");
+    let Some(Value::Int32(win)) = created.ret else {
+        panic!("handle")
+    };
+    println!(
+        "CreateWindow(640x480) -> handle {win} ({})",
+        created.elapsed
+    );
+
+    let mut lrpc_total = created.elapsed;
+    let mut calls = 1u32;
+    for step in 0..20i16 {
+        let out = ws
+            .call(
+                0,
+                &thread,
+                "MoveWindow",
+                &[
+                    Value::Int32(win),
+                    Value::Int16(step * 8),
+                    Value::Int16(step * 5),
+                ],
+            )
+            .expect("MoveWindow");
+        lrpc_total += out.elapsed;
+        calls += 1;
+    }
+    let out = ws
+        .call(0, &thread, "RaiseWindow", &[Value::Int32(win)])
+        .expect("Raise");
+    lrpc_total += out.elapsed;
+    calls += 1;
+    for line in ["$ cargo test", "running 284 tests", "test result: ok."] {
+        let out = ws
+            .call(
+                0,
+                &thread,
+                "DrawText",
+                &[Value::Int32(win), Value::Var(line.as_bytes().to_vec())],
+            )
+            .expect("DrawText");
+        lrpc_total += out.elapsed;
+        calls += 1;
+    }
+    let geom = ws
+        .call(0, &thread, "GetGeometry", &[Value::Int32(win)])
+        .expect("GetGeometry");
+    println!("GetGeometry -> {:?} ({})", geom.ret, geom.elapsed);
+    lrpc_total += geom.elapsed;
+    calls += 1;
+    let out = ws
+        .call(0, &thread, "DestroyWindow", &[Value::Int32(win)])
+        .expect("Destroy");
+    lrpc_total += out.elapsed;
+    calls += 1;
+
+    println!("\nsession: {calls} calls, {lrpc_total} of LRPC communication");
+    println!(
+        "mean per call: {:.0}us (LRPC)",
+        lrpc_total.as_micros_f64() / f64::from(calls)
+    );
+
+    // What the same session costs over the conventional path.
+    let src_cost = MsgRpcCost::src_rpc_taos();
+    let machine = Machine::new(1, CostModel::with_hw(src_cost.hw));
+    let msg = MsgRpcSystem::new(Kernel::new(machine), src_cost);
+    let sd = msg.kernel().create_domain("window-system");
+    let msg_handlers: Vec<msgrpc::MsgHandler> = vec![
+        Box::new(|_: &[Value]| Ok(Reply::value(Value::Int32(0)))),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|_: &[Value]| {
+            Ok(Reply::value(Value::Record(vec![
+                Value::Int16(0),
+                Value::Int16(0),
+                Value::Int16(0),
+                Value::Int16(0),
+            ])))
+        }),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+        Box::new(|_: &[Value]| Ok(Reply::none())),
+    ];
+    let msg_server = msg
+        .export(&sd, WINDOW_IDL, msg_handlers, 2)
+        .expect("export msg");
+    let msg_client = msg.kernel().create_domain("terminal-emulator");
+    let msg_thread = msg.kernel().spawn_thread(&msg_client);
+    let mut src_total = firefly::Nanos::ZERO;
+    let session: Vec<(&str, Vec<Value>)> = {
+        let mut v: Vec<(&str, Vec<Value>)> =
+            vec![("CreateWindow", vec![Value::Int16(640), Value::Int16(480)])];
+        for step in 0..20i16 {
+            v.push((
+                "MoveWindow",
+                vec![
+                    Value::Int32(0),
+                    Value::Int16(step * 8),
+                    Value::Int16(step * 5),
+                ],
+            ));
+        }
+        v.push(("RaiseWindow", vec![Value::Int32(0)]));
+        for line in ["$ cargo test", "running 284 tests", "test result: ok."] {
+            v.push((
+                "DrawText",
+                vec![Value::Int32(0), Value::Var(line.as_bytes().to_vec())],
+            ));
+        }
+        v.push(("GetGeometry", vec![Value::Int32(0)]));
+        v.push(("DestroyWindow", vec![Value::Int32(0)]));
+        v
+    };
+    for (proc, args) in &session {
+        let out = msg
+            .call(&msg_client, &msg_thread, &msg_server, 0, proc, args)
+            .expect("msg call");
+        src_total += out.elapsed;
+    }
+    println!(
+        "same session over SRC RPC: {src_total} ({:.0}us per call) — {:.1}x more \
+         communication time",
+        src_total.as_micros_f64() / session.len() as f64,
+        src_total.as_micros_f64() / lrpc_total.as_micros_f64()
+    );
+}

@@ -1,0 +1,126 @@
+//! Umbrella crate for the LRPC reproduction, plus a small assembly
+//! facade.
+//!
+//! The workspace crates are re-exported so downstream users can depend on
+//! one crate; [`Simulation`] bundles the usual machine + kernel + runtime
+//! boot sequence.
+
+pub use firefly;
+pub use idl;
+pub use kernel;
+pub use lrpc;
+pub use msgrpc;
+pub use workload;
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use kernel::kernel::Kernel;
+use lrpc::{LrpcRuntime, RuntimeConfig};
+
+/// A booted simulated machine with a kernel and an LRPC runtime.
+///
+/// # Examples
+///
+/// ```
+/// use idl::wire::Value;
+/// use lrpc::{Handler, Reply, ServerCtx};
+/// use lrpc_suite::Simulation;
+///
+/// let sim = Simulation::cvax_firefly();
+/// let server = sim.rt.kernel().create_domain("svc");
+/// sim.rt
+///     .export(
+///         &server,
+///         "interface Svc { procedure Double(x: int32) -> int32; }",
+///         vec![Box::new(|_: &ServerCtx, args: &[Value]| {
+///             let Value::Int32(x) = args[0] else { unreachable!() };
+///             Ok(Reply::value(Value::Int32(2 * x)))
+///         }) as Handler],
+///     )
+///     .unwrap();
+/// let client = sim.rt.kernel().create_domain("app");
+/// let thread = sim.rt.kernel().spawn_thread(&client);
+/// let binding = sim.rt.import(&client, "Svc").unwrap();
+/// let out = binding.call(0, &thread, "Double", &[Value::Int32(21)]).unwrap();
+/// assert_eq!(out.ret, Some(Value::Int32(42)));
+/// ```
+pub struct Simulation {
+    /// The simulated machine.
+    pub machine: Arc<Machine>,
+    /// The kernel booted on it.
+    pub kernel: Arc<Kernel>,
+    /// The LRPC runtime.
+    pub rt: Arc<LrpcRuntime>,
+}
+
+impl Simulation {
+    /// Boots a machine with the given CPU count, cost model and runtime
+    /// configuration.
+    pub fn new(n_cpus: usize, cost: CostModel, config: RuntimeConfig) -> Simulation {
+        let machine = Machine::new(n_cpus, cost);
+        let kernel = Kernel::new(Arc::clone(&machine));
+        let rt = LrpcRuntime::with_config(Arc::clone(&kernel), config);
+        Simulation {
+            machine,
+            kernel,
+            rt,
+        }
+    }
+
+    /// The paper's four-CPU C-VAX Firefly with default configuration.
+    pub fn cvax_firefly() -> Simulation {
+        Simulation::new(4, CostModel::cvax_firefly(), RuntimeConfig::default())
+    }
+
+    /// A single-CPU C-VAX with domain caching off — the configuration
+    /// behind the paper's serial measurements.
+    pub fn cvax_serial() -> Simulation {
+        Simulation::new(
+            1,
+            CostModel::cvax_firefly(),
+            RuntimeConfig {
+                domain_caching: false,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// The five-CPU MicroVAX II Firefly.
+    pub fn microvax_ii_firefly() -> Simulation {
+        Simulation::new(
+            5,
+            CostModel::microvax_ii_firefly(),
+            RuntimeConfig::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_boots_consistent_components() {
+        let sim = Simulation::cvax_firefly();
+        assert_eq!(sim.machine.num_cpus(), 4);
+        assert!(Arc::ptr_eq(sim.rt.kernel(), &sim.kernel));
+        assert!(Arc::ptr_eq(sim.kernel.machine(), &sim.machine));
+        assert!(sim.rt.config().domain_caching);
+    }
+
+    #[test]
+    fn serial_preset_disables_caching() {
+        let sim = Simulation::cvax_serial();
+        assert_eq!(sim.machine.num_cpus(), 1);
+        assert!(!sim.rt.config().domain_caching);
+    }
+
+    #[test]
+    fn microvax_preset_has_five_cpus() {
+        let sim = Simulation::microvax_ii_firefly();
+        assert_eq!(sim.machine.num_cpus(), 5);
+        assert_eq!(sim.machine.cost().name, "MicroVAX II Firefly");
+    }
+}

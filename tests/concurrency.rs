@@ -1,0 +1,335 @@
+//! Concurrency stress: LRPC's "design for concurrency" under real host
+//! threads.
+//!
+//! Section 3.4: "LRPC increases throughput by minimizing the use of shared
+//! data structures on the critical domain transfer path." These tests
+//! hammer a single server from many host threads and check that the
+//! functional invariants hold: every call completes with the right result,
+//! A-stack accounting balances, linkage stacks unwind, and contention for
+//! a small A-stack pool serializes instead of corrupting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use lrpc::{AStackPolicy, CallError, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+
+#[test]
+fn many_threads_one_server_no_interference() {
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("shared-server");
+    let executed = Arc::new(AtomicU64::new(0));
+    let executed2 = Arc::clone(&executed);
+    rt.export(
+        &server,
+        "interface Calc { [astacks = 16] procedure AddOne(x: int32) -> int32; }",
+        vec![Box::new(move |_: &ServerCtx, args: &[Value]| {
+            executed2.fetch_add(1, Ordering::Relaxed);
+            let Value::Int32(x) = args[0] else {
+                unreachable!()
+            };
+            Ok(Reply::value(Value::Int32(x + 1)))
+        }) as Handler],
+    )
+    .unwrap();
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| rt.kernel().create_domain(format!("client-{i}")))
+        .collect();
+    let bindings: Vec<_> = clients
+        .iter()
+        .map(|c| Arc::new(rt.import(c, "Calc").unwrap()))
+        .collect();
+
+    const CALLS: i32 = 500;
+    std::thread::scope(|s| {
+        for (cpu, (client, binding)) in clients.iter().zip(&bindings).enumerate() {
+            let rt = Arc::clone(&rt);
+            let binding = Arc::clone(binding);
+            s.spawn(move || {
+                let thread = rt.kernel().spawn_thread(client);
+                for i in 0..CALLS {
+                    let out = binding
+                        .call_indexed(cpu, &thread, 0, &[Value::Int32(i)])
+                        .expect("concurrent call");
+                    assert_eq!(out.ret, Some(Value::Int32(i + 1)));
+                }
+                assert_eq!(thread.call_depth(), 0);
+            });
+        }
+    });
+    assert_eq!(executed.load(Ordering::Relaxed), 4 * CALLS as u64);
+
+    // Every A-stack went back on its queue.
+    for binding in &bindings {
+        let astacks = &binding.state().astacks;
+        assert_eq!(astacks.free_count(0), 16, "A-stack accounting must balance");
+    }
+}
+
+#[test]
+fn small_astack_pool_serializes_under_wait_policy() {
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            astack_policy: AStackPolicy::Wait(Duration::from_secs(10)),
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("narrow");
+    rt.export(
+        &server,
+        "interface Narrow { [astacks = 2] procedure P(x: int32) -> int32; }",
+        vec![Box::new(move |_: &ServerCtx, args: &[Value]| {
+            // A little host-time work to force overlap.
+            std::thread::sleep(Duration::from_micros(200));
+            Ok(Reply::value(args[0].clone()))
+        }) as Handler],
+    )
+    .unwrap();
+
+    let client = rt.kernel().create_domain("c");
+    let binding = Arc::new(rt.import(&client, "Narrow").unwrap());
+    std::thread::scope(|s| {
+        for cpu in 0..4 {
+            let rt = Arc::clone(&rt);
+            let binding = Arc::clone(&binding);
+            let client = Arc::clone(&client);
+            s.spawn(move || {
+                let thread = rt.kernel().spawn_thread(&client);
+                for i in 0..50 {
+                    let out = binding
+                        .call_indexed(cpu, &thread, 0, &[Value::Int32(i)])
+                        .expect("waits for an A-stack instead of failing");
+                    assert_eq!(out.ret, Some(Value::Int32(i)));
+                }
+            });
+        }
+    });
+    assert_eq!(binding.state().astacks.free_count(0), 2);
+    assert_eq!(
+        binding.state().astacks.total_count(),
+        2,
+        "wait policy never grows"
+    );
+}
+
+#[test]
+fn astack_linkage_pairs_exclude_double_use() {
+    // Claim the linkage slot under a call's feet: the call must fail with
+    // AStackBusy rather than corrupt the pair, and the unwinding must put
+    // the A-stack back.
+    let kernel = Kernel::new(Machine::cvax_uniprocessor());
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            astack_policy: AStackPolicy::Fail,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("s");
+    rt.export(
+        &server,
+        "interface One { [astacks = 1] procedure P(); }",
+        vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("c");
+    let thread = rt.kernel().spawn_thread(&client);
+    let binding = rt.import(&client, "One").unwrap();
+
+    let slot = binding.state().astacks.linkage(0).unwrap();
+    assert!(
+        slot.try_claim(),
+        "simulate another thread mid-call on the pair"
+    );
+    let err = binding.call(0, &thread, "P", &[]).unwrap_err();
+    assert!(matches!(err, CallError::AStackBusy), "got {err}");
+    slot.release();
+    binding.call(0, &thread, "P", &[]).unwrap();
+}
+
+#[test]
+fn concurrent_termination_and_calls_settle_cleanly() {
+    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("doomed");
+    rt.export(
+        &server,
+        "interface D { procedure P(); }",
+        vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("c");
+    let binding = Arc::new(rt.import(&client, "D").unwrap());
+
+    let caller = {
+        let rt = Arc::clone(&rt);
+        let binding = Arc::clone(&binding);
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            let thread = rt.kernel().spawn_thread(&client);
+            let mut ok = 0u32;
+            let mut failed = 0u32;
+            for _ in 0..2_000 {
+                match binding.call_indexed(0, &thread, 0, &[]) {
+                    Ok(_) => ok += 1,
+                    Err(
+                        CallError::BindingRevoked
+                        | CallError::InvalidBinding(_)
+                        | CallError::DomainDead
+                        | CallError::CallFailed,
+                    ) => failed += 1,
+                    Err(other) => panic!("unexpected error under termination: {other}"),
+                }
+            }
+            (ok, failed)
+        })
+    };
+    // Let some calls through, then pull the server out.
+    std::thread::sleep(Duration::from_millis(5));
+    rt.terminate_domain(&server);
+    let (ok, failed) = caller.join().expect("caller must not panic");
+    assert!(ok > 0, "some calls succeeded before termination");
+    assert!(
+        failed > 0,
+        "calls after termination fail with the revocation errors"
+    );
+}
+
+#[test]
+fn estack_pool_reclaims_under_concurrent_pressure() {
+    // A tiny E-stack budget with many A-stacks forces the LRU reclamation
+    // path while four threads hammer the server.
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            max_estacks: 2,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("squeezed");
+    rt.export(
+        &server,
+        "interface S { [astacks = 12] procedure P(x: int32) -> int32; }",
+        vec![
+            Box::new(|_: &ServerCtx, args: &[Value]| Ok(Reply::value(args[0].clone())))
+                as lrpc::Handler,
+        ],
+    )
+    .unwrap();
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| rt.kernel().create_domain(format!("c{i}")))
+        .collect();
+    std::thread::scope(|s| {
+        for (cpu, client) in clients.iter().enumerate() {
+            let rt = Arc::clone(&rt);
+            s.spawn(move || {
+                let binding = rt.import(client, "S").expect("import");
+                let thread = rt.kernel().spawn_thread(client);
+                for i in 0..150 {
+                    let out = binding
+                        .call_indexed(cpu, &thread, 0, &[Value::Int32(i)])
+                        .expect("squeezed call");
+                    assert_eq!(out.ret, Some(Value::Int32(i)));
+                }
+            });
+        }
+    });
+    let stats = rt.estack_pool(&server).stats();
+    // Four bindings × distinct A-stacks with only 2 budgeted E-stacks:
+    // reclamation must have kicked in, and concurrent in-call E-stacks may
+    // push the peak past the cap, but never anywhere near one-per-A-stack.
+    assert!(
+        stats.reclamations > 0,
+        "LRU reclamation exercised: {stats:?}"
+    );
+    assert!(
+        stats.peak_allocated <= 8,
+        "peak {} must stay bounded",
+        stats.peak_allocated
+    );
+}
+
+#[test]
+fn concurrent_remote_calls_through_the_internet() {
+    use msgrpc::Internet;
+    let client_machine = {
+        let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+        LrpcRuntime::with_config(
+            kernel,
+            RuntimeConfig {
+                domain_caching: false,
+                ..RuntimeConfig::default()
+            },
+        )
+    };
+    let server_machine = {
+        let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+        LrpcRuntime::with_config(
+            kernel,
+            RuntimeConfig {
+                domain_caching: false,
+                ..RuntimeConfig::default()
+            },
+        )
+    };
+    let net = Internet::new();
+    net.attach("a", Arc::clone(&client_machine));
+    net.attach("b", Arc::clone(&server_machine));
+    let sd = server_machine.kernel().create_domain("svc");
+    server_machine
+        .export(
+            &sd,
+            "interface R { [astacks = 16] procedure Echo(x: int32) -> int32; }",
+            vec![
+                Box::new(|_: &ServerCtx, args: &[Value]| Ok(Reply::value(args[0].clone())))
+                    as lrpc::Handler,
+            ],
+        )
+        .unwrap();
+    client_machine.set_remote_transport(Arc::clone(&net) as Arc<dyn lrpc::RemoteTransport>);
+
+    let app = client_machine.kernel().create_domain("app");
+    let binding = Arc::new(client_machine.import_remote(&app, "R").unwrap());
+    std::thread::scope(|s| {
+        for cpu in 0..4 {
+            let rt = Arc::clone(&client_machine);
+            let app = Arc::clone(&app);
+            let binding = Arc::clone(&binding);
+            s.spawn(move || {
+                let thread = rt.kernel().spawn_thread(&app);
+                for i in 0..40 {
+                    let out = binding
+                        .call_indexed(cpu, &thread, 0, &[Value::Int32(i)])
+                        .expect("remote call");
+                    assert_eq!(out.ret, Some(Value::Int32(i)));
+                }
+            });
+        }
+    });
+    assert_eq!(binding.state().stats.remote_calls(), 160);
+}

@@ -1,0 +1,107 @@
+//! Integration of the top-level facade: `Simulation`, the typed call API
+//! and kernel diagnostics working together.
+
+use idl::wire::Value;
+use lrpc::{Handler, Reply, ServerCtx};
+use lrpc_suite::Simulation;
+
+#[test]
+fn simulation_plus_typed_api_end_to_end() {
+    let sim = Simulation::cvax_serial();
+    let server = sim.rt.kernel().create_domain("kv");
+    let store = std::sync::Arc::new(parking_lot::Mutex::new(std::collections::HashMap::new()));
+    let put_store = std::sync::Arc::clone(&store);
+    let get_store = store;
+    sim.rt
+        .export(
+            &server,
+            r#"interface Kv {
+                procedure Put(key: int32, value: int32) -> bool;
+                procedure Get(key: int32) -> int32;
+            }"#,
+            vec![
+                Box::new(move |_: &ServerCtx, args: &[Value]| {
+                    let (Value::Int32(k), Value::Int32(v)) = (&args[0], &args[1]) else {
+                        unreachable!()
+                    };
+                    let replaced = put_store.lock().insert(*k, *v).is_some();
+                    Ok(Reply::value(Value::Bool(replaced)))
+                }) as Handler,
+                Box::new(move |_: &ServerCtx, args: &[Value]| {
+                    let Value::Int32(k) = args[0] else {
+                        unreachable!()
+                    };
+                    let v = get_store.lock().get(&k).copied().unwrap_or(-1);
+                    Ok(Reply::value(Value::Int32(v)))
+                }) as Handler,
+            ],
+        )
+        .unwrap();
+    let client = sim.rt.kernel().create_domain("app");
+    let thread = sim.rt.kernel().spawn_thread(&client);
+    let kv = sim.rt.import(&client, "Kv").unwrap();
+
+    // Typed round trips.
+    let replaced = kv
+        .invoke("Put")
+        .unwrap()
+        .arg(7i32)
+        .arg(42i32)
+        .call(0, &thread)
+        .unwrap()
+        .ret_bool()
+        .unwrap();
+    assert!(!replaced);
+    let got = kv
+        .invoke("Get")
+        .unwrap()
+        .arg(7i32)
+        .call(0, &thread)
+        .unwrap()
+        .ret_i32()
+        .unwrap();
+    assert_eq!(got, 42);
+    let missing = kv
+        .invoke("Get")
+        .unwrap()
+        .arg(8i32)
+        .call(0, &thread)
+        .unwrap()
+        .ret_i32()
+        .unwrap();
+    assert_eq!(missing, -1);
+
+    // Kernel diagnostics see the whole picture.
+    let snap = sim.kernel.snapshot();
+    assert!(snap.domains.iter().any(|d| d.name == "kv"));
+    assert!(snap.domains.iter().any(|d| d.name == "app"));
+    assert_eq!(snap.threads_in_calls, 0, "all calls returned");
+    assert!(snap.allocated_bytes > 0);
+    assert!(snap.to_string().contains("kv"));
+
+    // Binding statistics accumulated.
+    assert_eq!(kv.state().stats.calls(), 3);
+    assert_eq!(kv.state().stats.failures(), 0);
+}
+
+#[test]
+fn presets_measure_what_they_claim() {
+    // The serial preset reproduces the paper's serial Null; the Firefly
+    // preset with a parked idle CPU reproduces the MP Null.
+    let serial = Simulation::cvax_serial();
+    let server = serial.rt.kernel().create_domain("s");
+    serial
+        .rt
+        .export(
+            &server,
+            "interface N { procedure Null(); }",
+            vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler],
+        )
+        .unwrap();
+    let client = serial.rt.kernel().create_domain("c");
+    let thread = serial.rt.kernel().spawn_thread(&client);
+    let binding = serial.rt.import(&client, "N").unwrap();
+    binding.call(0, &thread, "Null", &[]).unwrap();
+    let out = binding.call(0, &thread, "Null", &[]).unwrap();
+    assert_eq!(out.elapsed, firefly::Nanos::from_micros(157));
+}
