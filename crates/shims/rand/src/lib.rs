@@ -1,0 +1,363 @@
+//! In-tree stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `rand` it uses: a seedable deterministic generator
+//! plus the `Bernoulli` and `WeightedIndex` distributions. The generator
+//! is xoshiro256** seeded through SplitMix64 — the same construction the
+//! real `rand_xoshiro` uses — so streams are well distributed and stable
+//! across platforms. Sequences are NOT bit-compatible with upstream
+//! `rand::StdRng` (which is ChaCha-based); everything in this workspace
+//! seeds explicitly and asserts aggregate properties, not exact streams.
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Numeric types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of one multiply is irrelevant for the spans
+                // used here, and determinism is what matters.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((lo as $wide).wrapping_add(v as $wide)) as $t
+            }
+        }
+    )*}
+}
+sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! inclusive_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if hi < <$t>::MAX {
+                    <$t>::sample_half_open(rng, lo, hi + 1)
+                } else if lo > <$t>::MIN {
+                    <$t>::sample_half_open(rng, lo - 1, hi).saturating_add(1)
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*}
+}
+inclusive_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions over a generator.
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution samplable with any generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from building a distribution with invalid parameters.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct DistError(&'static str);
+
+    impl core::fmt::Display for DistError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "invalid distribution: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for DistError {}
+
+    /// Bernoulli distribution: `true` with probability `p`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Bernoulli {
+        p: f64,
+    }
+
+    impl Bernoulli {
+        /// A Bernoulli distribution with success probability `p`.
+        pub fn new(p: f64) -> Result<Bernoulli, DistError> {
+            if (0.0..=1.0).contains(&p) {
+                Ok(Bernoulli { p })
+            } else {
+                Err(DistError("Bernoulli p must be in [0, 1]"))
+            }
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.gen_bool(self.p)
+        }
+    }
+
+    /// Samples indices proportionally to a weight table.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex {
+        /// Cumulative weights; the final entry is the total.
+        cumulative: Vec<f64>,
+    }
+
+    impl WeightedIndex {
+        /// Builds the distribution from positive weights.
+        pub fn new<I>(weights: I) -> Result<WeightedIndex, DistError>
+        where
+            I: IntoIterator,
+            I::Item: core::borrow::Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *core::borrow::Borrow::borrow(&w);
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(DistError("weights must be finite and non-negative"));
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(DistError("total weight must be positive"));
+            }
+            Ok(WeightedIndex { cumulative })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let total = *self.cumulative.last().expect("non-empty");
+            let x = <f64 as super::Standard>::draw(rng) * total;
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+            {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            }
+            .min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+pub use rngs::StdRng as _StdRngReexportGuard;
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Bernoulli, Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_land_in_range_and_average_half() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bernoulli_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Bernoulli::new(0.053).unwrap();
+        let hits = (0..200_000).filter(|_| d.sample(&mut rng)).count();
+        let rate = hits as f64 / 200_000.0;
+        assert!((0.050..0.056).contains(&rate), "rate {rate}");
+        assert!(Bernoulli::new(1.5).is_err());
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = WeightedIndex::new(&[0.5, 0.25, 0.25]).unwrap();
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((0.49..0.51).contains(&p0), "p0 {p0}");
+        assert!(counts[1] > 0 && counts[2] > 0);
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/astack_props-a3f5205bd5e441e0.d: crates/lrpc/tests/astack_props.rs
+
+/root/repo/target/debug/deps/astack_props-a3f5205bd5e441e0: crates/lrpc/tests/astack_props.rs
+
+crates/lrpc/tests/astack_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline-2f0c71e9d79bfa77.d: crates/msgrpc/tests/baseline.rs
+
+/root/repo/target/debug/deps/baseline-2f0c71e9d79bfa77: crates/msgrpc/tests/baseline.rs
+
+crates/msgrpc/tests/baseline.rs:

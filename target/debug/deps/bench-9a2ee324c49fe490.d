@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-9a2ee324c49fe490.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libbench-9a2ee324c49fe490.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libbench-9a2ee324c49fe490.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/experiments.rs:

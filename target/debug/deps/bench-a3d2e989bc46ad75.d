@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-a3d2e989bc46ad75.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/bench-a3d2e989bc46ad75: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-4f7a9c498ea4b6e2.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4f7a9c498ea4b6e2.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4f7a9c498ea4b6e2.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/call_path-0a9ffe0a28158ee7.d: crates/lrpc/tests/call_path.rs
+
+/root/repo/target/debug/deps/call_path-0a9ffe0a28158ee7: crates/lrpc/tests/call_path.rs
+
+crates/lrpc/tests/call_path.rs:

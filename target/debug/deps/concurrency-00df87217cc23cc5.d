@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-00df87217cc23cc5.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-00df87217cc23cc5: tests/concurrency.rs
+
+tests/concurrency.rs:

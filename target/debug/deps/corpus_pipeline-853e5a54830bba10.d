@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_pipeline-853e5a54830bba10.d: tests/corpus_pipeline.rs
+
+/root/repo/target/debug/deps/corpus_pipeline-853e5a54830bba10: tests/corpus_pipeline.rs
+
+tests/corpus_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_system-60a4d5461ed648bb.d: tests/distributed_system.rs
+
+/root/repo/target/debug/deps/distributed_system-60a4d5461ed648bb: tests/distributed_system.rs
+
+tests/distributed_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_display-fd00726d4e221303.d: tests/error_display.rs
+
+/root/repo/target/debug/deps/error_display-fd00726d4e221303: tests/error_display.rs
+
+tests/error_display.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade-4b110fb59e98e0f6.d: tests/facade.rs
+
+/root/repo/target/debug/deps/facade-4b110fb59e98e0f6: tests/facade.rs
+
+tests/facade.rs:

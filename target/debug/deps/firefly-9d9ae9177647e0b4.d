@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/firefly-9d9ae9177647e0b4.d: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+/root/repo/target/debug/deps/libfirefly-9d9ae9177647e0b4.rlib: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+/root/repo/target/debug/deps/libfirefly-9d9ae9177647e0b4.rmeta: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+crates/firefly/src/lib.rs:
+crates/firefly/src/contention.rs:
+crates/firefly/src/cost.rs:
+crates/firefly/src/cpu.rs:
+crates/firefly/src/error.rs:
+crates/firefly/src/mem.rs:
+crates/firefly/src/meter.rs:
+crates/firefly/src/time.rs:
+crates/firefly/src/tlb.rs:
+crates/firefly/src/vm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/firefly-c44c9734c4bd1a39.d: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+/root/repo/target/debug/deps/firefly-c44c9734c4bd1a39: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+crates/firefly/src/lib.rs:
+crates/firefly/src/contention.rs:
+crates/firefly/src/cost.rs:
+crates/firefly/src/cpu.rs:
+crates/firefly/src/error.rs:
+crates/firefly/src/mem.rs:
+crates/firefly/src/meter.rs:
+crates/firefly/src/time.rs:
+crates/firefly/src/tlb.rs:
+crates/firefly/src/vm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/idl-2163d0282385a15a.d: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+/root/repo/target/debug/deps/libidl-2163d0282385a15a.rlib: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+/root/repo/target/debug/deps/libidl-2163d0282385a15a.rmeta: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+crates/idl/src/lib.rs:
+crates/idl/src/ast.rs:
+crates/idl/src/copyops.rs:
+crates/idl/src/layout.rs:
+crates/idl/src/parse.rs:
+crates/idl/src/print.rs:
+crates/idl/src/stubgen.rs:
+crates/idl/src/stubvm.rs:
+crates/idl/src/types.rs:
+crates/idl/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kernel-f7038756ae8b3ece.d: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libkernel-f7038756ae8b3ece.rlib: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libkernel-f7038756ae8b3ece.rmeta: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/domain.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/nameserver.rs:
+crates/kernel/src/objects.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lrpc-a74dcd84ee246b88.d: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+/root/repo/target/debug/deps/liblrpc-a74dcd84ee246b88.rlib: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+/root/repo/target/debug/deps/liblrpc-a74dcd84ee246b88.rmeta: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+crates/lrpc/src/lib.rs:
+crates/lrpc/src/astack.rs:
+crates/lrpc/src/binding.rs:
+crates/lrpc/src/call.rs:
+crates/lrpc/src/error.rs:
+crates/lrpc/src/estack.rs:
+crates/lrpc/src/remote.rs:
+crates/lrpc/src/runtime.rs:
+crates/lrpc/src/touch.rs:
+crates/lrpc/src/typed.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lrpc-eeeb288d8063d3a0.d: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+/root/repo/target/debug/deps/lrpc-eeeb288d8063d3a0: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+crates/lrpc/src/lib.rs:
+crates/lrpc/src/astack.rs:
+crates/lrpc/src/binding.rs:
+crates/lrpc/src/call.rs:
+crates/lrpc/src/error.rs:
+crates/lrpc/src/estack.rs:
+crates/lrpc/src/remote.rs:
+crates/lrpc/src/runtime.rs:
+crates/lrpc/src/touch.rs:
+crates/lrpc/src/typed.rs:

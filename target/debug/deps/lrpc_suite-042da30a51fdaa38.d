@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lrpc_suite-042da30a51fdaa38.d: src/suite.rs
+
+/root/repo/target/debug/deps/liblrpc_suite-042da30a51fdaa38.rlib: src/suite.rs
+
+/root/repo/target/debug/deps/liblrpc_suite-042da30a51fdaa38.rmeta: src/suite.rs
+
+src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lrpc_suite-4b2ce752d0bbabe1.d: src/suite.rs
+
+/root/repo/target/debug/deps/lrpc_suite-4b2ce752d0bbabe1: src/suite.rs
+
+src/suite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msgrpc-4f8fd1a38bb4acf3.d: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/debug/deps/libmsgrpc-4f8fd1a38bb4acf3.rlib: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/debug/deps/libmsgrpc-4f8fd1a38bb4acf3.rmeta: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+crates/msgrpc/src/lib.rs:
+crates/msgrpc/src/internet.rs:
+crates/msgrpc/src/marshal.rs:
+crates/msgrpc/src/message.rs:
+crates/msgrpc/src/model.rs:
+crates/msgrpc/src/net.rs:
+crates/msgrpc/src/receiver.rs:
+crates/msgrpc/src/system.rs:

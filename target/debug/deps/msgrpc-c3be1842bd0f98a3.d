@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msgrpc-c3be1842bd0f98a3.d: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/debug/deps/msgrpc-c3be1842bd0f98a3: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+crates/msgrpc/src/lib.rs:
+crates/msgrpc/src/internet.rs:
+crates/msgrpc/src/marshal.rs:
+crates/msgrpc/src/message.rs:
+crates/msgrpc/src/model.rs:
+crates/msgrpc/src/net.rs:
+crates/msgrpc/src/receiver.rs:
+crates/msgrpc/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-3a4e254963e279f7.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-3a4e254963e279f7: tests/paper_claims.rs
+
+tests/paper_claims.rs:

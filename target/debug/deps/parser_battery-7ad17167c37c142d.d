@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_battery-7ad17167c37c142d.d: crates/idl/tests/parser_battery.rs
+
+/root/repo/target/debug/deps/parser_battery-7ad17167c37c142d: crates/idl/tests/parser_battery.rs
+
+crates/idl/tests/parser_battery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-271c8c693e935eeb.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-271c8c693e935eeb: tests/props.rs
+
+tests/props.rs:

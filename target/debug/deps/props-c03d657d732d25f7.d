@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-c03d657d732d25f7.d: crates/msgrpc/tests/props.rs
+
+/root/repo/target/debug/deps/props-c03d657d732d25f7: crates/msgrpc/tests/props.rs
+
+crates/msgrpc/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d1f535e8b0905faf.d: crates/firefly/tests/props.rs
+
+/root/repo/target/debug/deps/props-d1f535e8b0905faf: crates/firefly/tests/props.rs
+
+crates/firefly/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-ef40a4c149805181.d: crates/kernel/tests/props.rs
+
+/root/repo/target/debug/deps/props-ef40a4c149805181: crates/kernel/tests/props.rs
+
+crates/kernel/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stubgen-6b31eccd0dbd7b78.d: crates/idl/src/bin/stubgen.rs
+
+/root/repo/target/debug/deps/stubgen-6b31eccd0dbd7b78: crates/idl/src/bin/stubgen.rs
+
+crates/idl/src/bin/stubgen.rs:

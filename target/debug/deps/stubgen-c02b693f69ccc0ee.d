@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stubgen-c02b693f69ccc0ee.d: crates/idl/src/bin/stubgen.rs
+
+/root/repo/target/debug/deps/stubgen-c02b693f69ccc0ee: crates/idl/src/bin/stubgen.rs
+
+crates/idl/src/bin/stubgen.rs:

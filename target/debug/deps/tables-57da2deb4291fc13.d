@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-57da2deb4291fc13.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-57da2deb4291fc13: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

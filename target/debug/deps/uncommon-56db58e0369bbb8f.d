@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uncommon-56db58e0369bbb8f.d: crates/lrpc/tests/uncommon.rs
+
+/root/repo/target/debug/deps/uncommon-56db58e0369bbb8f: crates/lrpc/tests/uncommon.rs
+
+crates/lrpc/tests/uncommon.rs:

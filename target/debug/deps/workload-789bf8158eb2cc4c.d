@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload-789bf8158eb2cc4c.d: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/workload-789bf8158eb2cc4c: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/activity.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workload-c6ed6dd5cf63eab5.d: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libworkload-c6ed6dd5cf63eab5.rlib: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libworkload-c6ed6dd5cf63eab5.rmeta: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/activity.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed-1c0f2926c95a7f84.d: examples/distributed.rs
+
+/root/repo/target/debug/examples/distributed-1c0f2926c95a7f84: examples/distributed.rs
+
+examples/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/domain_termination-bbfdcb500a5b454a.d: examples/domain_termination.rs
+
+/root/repo/target/debug/examples/domain_termination-bbfdcb500a5b454a: examples/domain_termination.rs
+
+examples/domain_termination.rs:

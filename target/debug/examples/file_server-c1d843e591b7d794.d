@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_server-c1d843e591b7d794.d: examples/file_server.rs
+
+/root/repo/target/debug/examples/file_server-c1d843e591b7d794: examples/file_server.rs
+
+examples/file_server.rs:

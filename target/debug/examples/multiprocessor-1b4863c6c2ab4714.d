@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprocessor-1b4863c6c2ab4714.d: examples/multiprocessor.rs
+
+/root/repo/target/debug/examples/multiprocessor-1b4863c6c2ab4714: examples/multiprocessor.rs
+
+examples/multiprocessor.rs:

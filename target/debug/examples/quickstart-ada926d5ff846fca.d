@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ada926d5ff846fca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ada926d5ff846fca: examples/quickstart.rs
+
+examples/quickstart.rs:

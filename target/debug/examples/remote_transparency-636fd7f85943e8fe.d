@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_transparency-636fd7f85943e8fe.d: examples/remote_transparency.rs
+
+/root/repo/target/debug/examples/remote_transparency-636fd7f85943e8fe: examples/remote_transparency.rs
+
+examples/remote_transparency.rs:

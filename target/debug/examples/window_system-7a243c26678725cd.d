@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_system-7a243c26678725cd.d: examples/window_system.rs
+
+/root/repo/target/debug/examples/window_system-7a243c26678725cd: examples/window_system.rs
+
+examples/window_system.rs:

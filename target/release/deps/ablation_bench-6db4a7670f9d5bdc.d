@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bench-6db4a7670f9d5bdc.d: crates/bench/benches/ablation_bench.rs
+
+/root/repo/target/release/deps/ablation_bench-6db4a7670f9d5bdc: crates/bench/benches/ablation_bench.rs
+
+crates/bench/benches/ablation_bench.rs:

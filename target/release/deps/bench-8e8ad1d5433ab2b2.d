@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bench-8e8ad1d5433ab2b2.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libbench-8e8ad1d5433ab2b2.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libbench-8e8ad1d5433ab2b2.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/common.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/common.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-bd9b68bff80bc4ac.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bd9b68bff80bc4ac.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-bd9b68bff80bc4ac.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/firefly-c5b484289ca77251.d: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+/root/repo/target/release/deps/firefly-c5b484289ca77251: crates/firefly/src/lib.rs crates/firefly/src/contention.rs crates/firefly/src/cost.rs crates/firefly/src/cpu.rs crates/firefly/src/error.rs crates/firefly/src/mem.rs crates/firefly/src/meter.rs crates/firefly/src/time.rs crates/firefly/src/tlb.rs crates/firefly/src/vm.rs
+
+crates/firefly/src/lib.rs:
+crates/firefly/src/contention.rs:
+crates/firefly/src/cost.rs:
+crates/firefly/src/cpu.rs:
+crates/firefly/src/error.rs:
+crates/firefly/src/mem.rs:
+crates/firefly/src/meter.rs:
+crates/firefly/src/time.rs:
+crates/firefly/src/tlb.rs:
+crates/firefly/src/vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/four_tests-8dd6ff49b5c07aa9.d: crates/bench/benches/four_tests.rs
+
+/root/repo/target/release/deps/four_tests-8dd6ff49b5c07aa9: crates/bench/benches/four_tests.rs
+
+crates/bench/benches/four_tests.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/idl-598d68d011ad4ae5.d: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+/root/repo/target/release/deps/libidl-598d68d011ad4ae5.rlib: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+/root/repo/target/release/deps/libidl-598d68d011ad4ae5.rmeta: crates/idl/src/lib.rs crates/idl/src/ast.rs crates/idl/src/copyops.rs crates/idl/src/layout.rs crates/idl/src/parse.rs crates/idl/src/print.rs crates/idl/src/stubgen.rs crates/idl/src/stubvm.rs crates/idl/src/types.rs crates/idl/src/wire.rs
+
+crates/idl/src/lib.rs:
+crates/idl/src/ast.rs:
+crates/idl/src/copyops.rs:
+crates/idl/src/layout.rs:
+crates/idl/src/parse.rs:
+crates/idl/src/print.rs:
+crates/idl/src/stubgen.rs:
+crates/idl/src/stubvm.rs:
+crates/idl/src/types.rs:
+crates/idl/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kernel-7f386ef7c5ede306.d: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/kernel-7f386ef7c5ede306: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/domain.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/nameserver.rs:
+crates/kernel/src/objects.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/kernel-baedcc6cfac265fd.d: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libkernel-baedcc6cfac265fd.rlib: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libkernel-baedcc6cfac265fd.rmeta: crates/kernel/src/lib.rs crates/kernel/src/domain.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/nameserver.rs crates/kernel/src/objects.rs crates/kernel/src/sched.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/domain.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/nameserver.rs:
+crates/kernel/src/objects.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lrpc-67dd44bad5d281d3.d: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+/root/repo/target/release/deps/lrpc-67dd44bad5d281d3: crates/lrpc/src/lib.rs crates/lrpc/src/astack.rs crates/lrpc/src/binding.rs crates/lrpc/src/call.rs crates/lrpc/src/error.rs crates/lrpc/src/estack.rs crates/lrpc/src/remote.rs crates/lrpc/src/runtime.rs crates/lrpc/src/touch.rs crates/lrpc/src/typed.rs
+
+crates/lrpc/src/lib.rs:
+crates/lrpc/src/astack.rs:
+crates/lrpc/src/binding.rs:
+crates/lrpc/src/call.rs:
+crates/lrpc/src/error.rs:
+crates/lrpc/src/estack.rs:
+crates/lrpc/src/remote.rs:
+crates/lrpc/src/runtime.rs:
+crates/lrpc/src/touch.rs:
+crates/lrpc/src/typed.rs:

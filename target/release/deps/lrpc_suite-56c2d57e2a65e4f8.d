@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lrpc_suite-56c2d57e2a65e4f8.d: src/suite.rs
+
+/root/repo/target/release/deps/lrpc_suite-56c2d57e2a65e4f8: src/suite.rs
+
+src/suite.rs:

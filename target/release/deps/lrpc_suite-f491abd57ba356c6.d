@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lrpc_suite-f491abd57ba356c6.d: src/suite.rs
+
+/root/repo/target/release/deps/liblrpc_suite-f491abd57ba356c6.rlib: src/suite.rs
+
+/root/repo/target/release/deps/liblrpc_suite-f491abd57ba356c6.rmeta: src/suite.rs
+
+src/suite.rs:

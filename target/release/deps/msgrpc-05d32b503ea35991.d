@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msgrpc-05d32b503ea35991.d: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/release/deps/libmsgrpc-05d32b503ea35991.rlib: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/release/deps/libmsgrpc-05d32b503ea35991.rmeta: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+crates/msgrpc/src/lib.rs:
+crates/msgrpc/src/internet.rs:
+crates/msgrpc/src/marshal.rs:
+crates/msgrpc/src/message.rs:
+crates/msgrpc/src/model.rs:
+crates/msgrpc/src/net.rs:
+crates/msgrpc/src/receiver.rs:
+crates/msgrpc/src/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/msgrpc-b52d1b84a6fd3777.d: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+/root/repo/target/release/deps/msgrpc-b52d1b84a6fd3777: crates/msgrpc/src/lib.rs crates/msgrpc/src/internet.rs crates/msgrpc/src/marshal.rs crates/msgrpc/src/message.rs crates/msgrpc/src/model.rs crates/msgrpc/src/net.rs crates/msgrpc/src/receiver.rs crates/msgrpc/src/system.rs
+
+crates/msgrpc/src/lib.rs:
+crates/msgrpc/src/internet.rs:
+crates/msgrpc/src/marshal.rs:
+crates/msgrpc/src/message.rs:
+crates/msgrpc/src/model.rs:
+crates/msgrpc/src/net.rs:
+crates/msgrpc/src/receiver.rs:
+crates/msgrpc/src/system.rs:

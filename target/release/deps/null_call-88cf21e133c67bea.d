@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/null_call-88cf21e133c67bea.d: crates/bench/benches/null_call.rs
+
+/root/repo/target/release/deps/null_call-88cf21e133c67bea: crates/bench/benches/null_call.rs
+
+crates/bench/benches/null_call.rs:

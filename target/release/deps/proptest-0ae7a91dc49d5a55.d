@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0ae7a91dc49d5a55.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0ae7a91dc49d5a55.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0ae7a91dc49d5a55.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

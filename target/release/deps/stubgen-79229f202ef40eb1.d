@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stubgen-79229f202ef40eb1.d: crates/idl/src/bin/stubgen.rs
+
+/root/repo/target/release/deps/stubgen-79229f202ef40eb1: crates/idl/src/bin/stubgen.rs
+
+crates/idl/src/bin/stubgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stubs-43914c8df6ad1500.d: crates/bench/benches/stubs.rs
+
+/root/repo/target/release/deps/stubs-43914c8df6ad1500: crates/bench/benches/stubs.rs
+
+crates/bench/benches/stubs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-6faae1b9fa21f205.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-6faae1b9fa21f205: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

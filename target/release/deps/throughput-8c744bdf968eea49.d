@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-8c744bdf968eea49.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/release/deps/throughput-8c744bdf968eea49: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

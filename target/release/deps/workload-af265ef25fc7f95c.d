@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workload-af265ef25fc7f95c.d: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/workload-af265ef25fc7f95c: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/activity.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

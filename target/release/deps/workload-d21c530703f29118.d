@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workload-d21c530703f29118.d: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libworkload-d21c530703f29118.rlib: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libworkload-d21c530703f29118.rmeta: crates/workload/src/lib.rs crates/workload/src/activity.rs crates/workload/src/corpus.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/activity.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:
