@@ -16,7 +16,9 @@
 //!   MicroVAX II Firefly, and the Table 2 processors);
 //! * [`meter`] — where-did-the-time-go recording (regenerates Table 5);
 //! * [`contention`] — a deterministic virtual-time contention simulator
-//!   (regenerates Figure 2).
+//!   (regenerates Figure 2);
+//! * [`fault`] — a seeded, deterministic fault-injection plan the upper
+//!   layers consult to exercise the Section 5.3 failure paths.
 //!
 //! Timing methodology: the functional code in the upper crates runs for
 //! real (real byte copies, real locks); as it runs it charges calibrated
@@ -27,6 +29,7 @@ pub mod contention;
 pub mod cost;
 pub mod cpu;
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod meter;
 pub mod time;
@@ -37,6 +40,7 @@ pub use contention::{simulate_throughput, CallProfile, ResourceId, Seg, Throughp
 pub use cost::{CostModel, ProcessorTimings};
 pub use cpu::{Cpu, Machine};
 pub use error::MemFault;
+pub use fault::{DispatchFault, FaultConfig, FaultEvent, FaultKind, FaultPlan, PacketFate};
 pub use mem::{PageId, PhysMem, Region, RegionId, PAGE_SIZE};
 pub use meter::{Meter, Phase, Segment};
 pub use time::Nanos;

@@ -83,6 +83,10 @@ pub struct ProcDef {
     /// Override for the A-stack size; `None` computes it from the types
     /// (exact for fixed-size procedures, the Ethernet default otherwise).
     pub astack_size: Option<usize>,
+    /// Declared safe to retry: calling the procedure twice with the same
+    /// arguments is equivalent to calling it once. Retry policies only
+    /// re-issue calls to procedures carrying this attribute.
+    pub idempotent: bool,
 }
 
 impl ProcDef {
@@ -94,6 +98,7 @@ impl ProcDef {
             ret,
             astack_count: None,
             astack_size: None,
+            idempotent: false,
         }
     }
 

@@ -356,6 +356,7 @@ impl<'a> Parser<'a> {
     fn procedure(&mut self) -> Result<ProcDef, ParseError> {
         let mut astack_count = None;
         let mut astack_size = None;
+        let mut idempotent = false;
         while self.tok == Tok::LBracket {
             self.advance()?;
             let key = self.expect_ident()?;
@@ -370,6 +371,7 @@ impl<'a> Parser<'a> {
                     astack_count = Some(value as u32);
                 }
                 "astack_size" => astack_size = Some(value as usize),
+                "idempotent" => idempotent = value != 0,
                 other => {
                     return Err(self.error(format!("unknown attribute `{other}`")));
                 }
@@ -403,6 +405,7 @@ impl<'a> Parser<'a> {
             ret,
             astack_count,
             astack_size,
+            idempotent,
         })
     }
 

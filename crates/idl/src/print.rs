@@ -33,6 +33,9 @@ fn print_proc(out: &mut String, p: &ProcDef) {
     if let Some(n) = p.astack_size {
         let _ = writeln!(out, "    [astack_size = {n}]");
     }
+    if p.idempotent {
+        out.push_str("    [idempotent = 1]\n");
+    }
     out.push_str("    procedure ");
     out.push_str(&p.name);
     out.push('(');
@@ -143,13 +146,15 @@ mod tests {
             proptest::option::of(arb_ty()),
             proptest::option::of(1u32..32),
             proptest::option::of(4usize..4096),
+            any::<bool>(),
         )
-            .prop_map(|(name, params, ret, astacks, asize)| ProcDef {
+            .prop_map(|(name, params, ret, astacks, asize, idempotent)| ProcDef {
                 name,
                 params,
                 ret,
                 astack_count: astacks,
                 astack_size: asize,
+                idempotent,
             });
         (ident(), proptest::collection::vec(proc, 1..6)).prop_map(|(name, mut procs)| {
             // The parser rejects duplicate procedure/parameter names, so

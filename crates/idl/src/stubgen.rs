@@ -152,6 +152,9 @@ pub struct ProcedureDescriptor {
     pub simultaneous_calls: u32,
     /// Size of each A-stack.
     pub astack_size: usize,
+    /// Declared `[idempotent = 1]` in the interface: clients may safely
+    /// retry a failed call to this procedure.
+    pub idempotent: bool,
 }
 
 /// A fully compiled procedure: layout, descriptors and all four stub
@@ -277,6 +280,7 @@ fn compile_proc(index: usize, def: &ProcDef) -> CompiledProc {
         entry: index,
         simultaneous_calls: def.astack_count.unwrap_or(DEFAULT_ASTACK_COUNT),
         astack_size: layout.astack_size,
+        idempotent: def.idempotent,
     };
 
     CompiledProc {

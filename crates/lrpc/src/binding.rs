@@ -142,7 +142,36 @@ impl Clerk {
             .handlers
             .get(index)
             .ok_or(CallError::BadProcedure { index })?;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(ctx, args))) {
+        let fault = ctx.rt.fault_plan().map(|plan| {
+            (
+                plan.dispatch_fault(&format!("dispatch:{}", self.interface.name)),
+                plan,
+            )
+        });
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Injected faults run inside the unwind boundary, on the
+            // migrated client thread, so each one exercises the *real*
+            // failure path: a panic unwinds into the ServerFault
+            // conversion below; terminating the server's own domain
+            // invalidates this call's linkage (the return trap then takes
+            // the call-failed path); hanging captures the thread until the
+            // client-side watchdog abandons it.
+            if let Some((f, plan)) = &fault {
+                if f.delay_us > 0 {
+                    ctx.charge(firefly::Nanos::from_micros(f.delay_us));
+                }
+                if f.terminate_server {
+                    ctx.rt.terminate_domain(&ctx.domain);
+                }
+                if f.hang {
+                    plan.wait_while_hung();
+                }
+                if f.panic {
+                    panic!("injected fault: server procedure crashed");
+                }
+            }
+            h(ctx, args)
+        })) {
             Ok(result) => result,
             Err(payload) => {
                 let msg = payload

@@ -35,7 +35,7 @@ use idl::wire::Value;
 use kernel::objects::RawHandle;
 use kernel::thread::{Linkage, ReturnPath, Thread};
 
-use crate::astack::LinkageSlot;
+use crate::astack::{AStackPolicy, LinkageSlot};
 use crate::binding::{BindingState, ServerCtx};
 use crate::error::CallError;
 use crate::estack::EStackPool;
@@ -276,13 +276,48 @@ pub(crate) fn lrpc_call(
     touch_set(cpu, client_state.touch.client_call(), &mut meter);
 
     let class = client_state.astacks.class_of_proc(proc_index);
-    let astack_idx = client_state.astacks.acquire(
+    // Fault injection: drain the class's free list so this acquire faces
+    // genuine exhaustion and takes the real Section 5.2 path (fail, or
+    // overflow growth under `Grow`). The stolen stacks go straight back
+    // afterwards, so nothing leaks across calls.
+    let fault_plan = rt.fault_plan();
+    let stolen: Vec<usize> = match &fault_plan {
+        Some(plan) if plan.exhaust_astacks("call:astacks") => {
+            let mut stolen = Vec::new();
+            while let Ok(idx) = client_state.astacks.acquire(
+                class,
+                AStackPolicy::Fail,
+                rt.kernel(),
+                &client_state.client,
+                &client_state.server,
+            ) {
+                stolen.push(idx);
+            }
+            stolen
+        }
+        _ => Vec::new(),
+    };
+    let acquire_policy = if stolen.is_empty() {
+        rt.config().astack_policy
+    } else {
+        match rt.config().astack_policy {
+            // Growing still works while exhausted; waiting would block on
+            // stacks this very call is holding hostage.
+            AStackPolicy::Grow => AStackPolicy::Grow,
+            _ => AStackPolicy::Fail,
+        }
+    };
+    let acquired = client_state.astacks.acquire(
         class,
-        rt.config().astack_policy,
+        acquire_policy,
         rt.kernel(),
         &client_state.client,
         &client_state.server,
-    )?;
+    );
+    for idx in stolen {
+        client_state.astacks.release(idx);
+    }
+    let astack_idx = acquired?;
     charge_locked(
         cpu,
         &mut meter,
@@ -385,6 +420,16 @@ pub(crate) fn lrpc_call(
     touch_set(cpu, client_state.touch.kernel_call(), &mut meter);
 
     // Verify the Binding Object and procedure identifier.
+    //
+    // Fault injection: present a forged Binding Object (wrong nonce) so
+    // the kernel's own validation — not a shortcut — rejects the call.
+    let handle = match &fault_plan {
+        Some(plan) if plan.forge_binding("call:binding") => RawHandle {
+            id: handle.id,
+            nonce: handle.nonce ^ 0xDEAD_BEEF,
+        },
+        _ => handle,
+    };
     let state = rt.validate_binding(handle)?;
     if !state.server.is_active() || !state.client.is_active() {
         return Err(CallError::DomainDead);

@@ -50,6 +50,12 @@ pub enum CallError {
     /// The binding is to a remote server but no remote transport was
     /// configured (Section 5.1's conventional-RPC branch).
     NoRemoteTransport,
+    /// The conventional-RPC transport gave up (e.g. a packet was lost
+    /// more times than the retransmission budget allows).
+    Network(String),
+    /// The binding's circuit breaker is open: recent consecutive failures
+    /// tripped it, and the call was rejected without being attempted.
+    CircuitOpen,
 }
 
 impl core::fmt::Display for CallError {
@@ -75,11 +81,22 @@ impl core::fmt::Display for CallError {
             CallError::NoRemoteTransport => {
                 write!(f, "remote binding but no remote transport configured")
             }
+            CallError::Network(msg) => write!(f, "network failure: {msg}"),
+            CallError::CircuitOpen => write!(f, "circuit breaker open; call rejected"),
         }
     }
 }
 
-impl std::error::Error for CallError {}
+impl std::error::Error for CallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CallError::InvalidBinding(e) => Some(e),
+            CallError::Stub(e) => Some(e),
+            CallError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StubError> for CallError {
     fn from(e: StubError) -> CallError {

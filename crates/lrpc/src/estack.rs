@@ -188,6 +188,19 @@ impl EStackPool {
         }
     }
 
+    /// Number of E-stacks currently associated with an *in-progress*
+    /// call. Zero between calls — the invariant the chaos tests assert
+    /// after every fault schedule (no orphaned in-call association may
+    /// survive a failed or aborted call).
+    pub fn busy_count(&self) -> usize {
+        self.inner
+            .lock()
+            .assoc
+            .values()
+            .filter(|a| a.in_call)
+            .count()
+    }
+
     /// The configured E-stack size.
     pub fn estack_size(&self) -> usize {
         self.estack_size

@@ -56,6 +56,7 @@ pub mod binding;
 pub mod call;
 pub mod error;
 pub mod estack;
+pub mod recover;
 pub mod remote;
 pub mod runtime;
 pub mod touch;
@@ -66,6 +67,9 @@ pub use binding::{Binding, BindingState, BindingStats, Clerk, Handler, Reply, Se
 pub use call::{CallOutcome, ASTACK_QUEUE_LOCK};
 pub use error::CallError;
 pub use estack::{EStackPool, EStackStats};
+pub use recover::{
+    BreakerConfig, BreakerState, CircuitBreaker, RecoveryConfig, ResilientClient, RetryPolicy,
+};
 pub use remote::{RemoteReply, RemoteTransport};
 pub use runtime::{LrpcRuntime, RuntimeConfig};
 pub use touch::TouchPlan;

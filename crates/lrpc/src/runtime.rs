@@ -8,6 +8,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use firefly::fault::FaultPlan;
 use idl::ast::InterfaceDef;
 use idl::stubgen::{compile, CompiledInterface};
 use kernel::ids::DomainId;
@@ -66,6 +67,7 @@ pub struct LrpcRuntime {
     estacks: Mutex<HashMap<DomainId, Arc<EStackPool>>>,
     remote: Mutex<Option<Arc<dyn RemoteTransport>>>,
     proxy_domain: Mutex<Option<Arc<Domain>>>,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl LrpcRuntime {
@@ -84,6 +86,7 @@ impl LrpcRuntime {
             estacks: Mutex::new(HashMap::new()),
             remote: Mutex::new(None),
             proxy_domain: Mutex::new(None),
+            fault: Mutex::new(None),
         })
     }
 
@@ -254,6 +257,18 @@ impl LrpcRuntime {
     /// The configured remote transport, if any.
     pub fn remote_transport(&self) -> Option<Arc<dyn RemoteTransport>> {
         self.remote.lock().clone()
+    }
+
+    /// Installs a fault-injection plan. The call path, the clerks and (if
+    /// shared with the transport) the network consult it at their
+    /// injection sites; `None` (the default) injects nothing.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock() = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().clone()
     }
 
     fn proxy_domain(&self) -> Arc<Domain> {

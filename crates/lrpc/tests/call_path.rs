@@ -536,3 +536,84 @@ fn captured_thread_recovery_delivers_call_aborted() {
     );
     assert_eq!(thread.status(), kernel::ThreadStatus::Destroyed);
 }
+
+#[test]
+fn termination_with_multiple_outstanding_calls_mixes_failed_and_aborted() {
+    // Section 5.3, both exceptions at once: two clients are captured
+    // inside the same server when its domain terminates. The client that
+    // had already abandoned its thread sees call-aborted; the one still
+    // waiting sees call-failed. Neither hangs, and the A-stack/linkage
+    // pairs of both bindings come back.
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("doomed");
+    let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+    let gate2 = Arc::clone(&gate);
+    rt.export(
+        &server,
+        "interface Cap2 { [astacks = 4] procedure Hold(); }",
+        vec![Box::new(move |_: &ServerCtx, _: &[Value]| {
+            let (lock, cv) = &*gate2;
+            let mut released = lock.lock();
+            while !*released {
+                cv.wait(&mut released);
+            }
+            Ok(Reply::none())
+        }) as Handler],
+    )
+    .unwrap();
+
+    let ca = rt.kernel().create_domain("patient");
+    let cb = rt.kernel().create_domain("impatient");
+    let ta = rt.kernel().spawn_thread(&ca);
+    let tb = rt.kernel().spawn_thread(&cb);
+    let ba = Arc::new(rt.import(&ca, "Cap2").unwrap());
+    let bb = Arc::new(rt.import(&cb, "Cap2").unwrap());
+
+    let call_a = {
+        let (b, t) = (Arc::clone(&ba), Arc::clone(&ta));
+        std::thread::spawn(move || b.call(0, &t, "Hold", &[]))
+    };
+    let call_b = {
+        let (b, t) = (Arc::clone(&bb), Arc::clone(&tb));
+        std::thread::spawn(move || b.call(1, &t, "Hold", &[]))
+    };
+    while ta.current_domain() != server.id() || tb.current_domain() != server.id() {
+        std::thread::yield_now();
+    }
+
+    // B gives up first (call-aborted path), then the domain dies under A
+    // (call-failed path), then the handlers finally return.
+    let replacement = rt.abandon_captured(&tb).expect("tb is captured");
+    assert_eq!(replacement.home_domain(), cb.id());
+    rt.terminate_domain(&server);
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    let ra = call_a.join().unwrap();
+    let rb = call_b.join().unwrap();
+    assert!(matches!(ra, Err(CallError::CallFailed)), "got {ra:?}");
+    assert!(matches!(rb, Err(CallError::CallAborted)), "got {rb:?}");
+    assert_eq!(tb.status(), kernel::ThreadStatus::Destroyed);
+    assert_eq!(ta.call_depth(), 0);
+
+    for binding in [&ba, &bb] {
+        let astacks = &binding.state().astacks;
+        assert_eq!(astacks.free_count(0), 4, "every A-stack back on its queue");
+        let mut i = 0;
+        while let Some(slot) = astacks.linkage(i) {
+            assert!(!slot.is_in_use(), "linkage record {i} left claimed");
+            i += 1;
+        }
+    }
+    assert_eq!(rt.kernel().snapshot().threads_in_calls, 0);
+}

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use firefly::cpu::Cpu;
+use firefly::fault::FaultPlan;
 use firefly::meter::{Meter, Phase};
 use idl::stubgen::CompiledInterface;
 use idl::wire::Value;
@@ -26,7 +27,7 @@ use lrpc::{Binding, CallError, LrpcRuntime, RemoteReply, RemoteTransport};
 use parking_lot::Mutex;
 
 use crate::marshal;
-use crate::net::{packets_for, PACKET_PROCESSING, WIRE_TIME_PER_PACKET};
+use crate::net::{apply_packet_faults, packets_for, PACKET_PROCESSING, WIRE_TIME_PER_PACKET};
 
 struct Host {
     rt: Arc<LrpcRuntime>,
@@ -42,6 +43,7 @@ struct Host {
 /// A simulated Ethernet connecting whole machines.
 pub struct Internet {
     hosts: Mutex<HashMap<String, Arc<Host>>>,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Internet {
@@ -49,7 +51,13 @@ impl Internet {
     pub fn new() -> Arc<Internet> {
         Arc::new(Internet {
             hosts: Mutex::new(HashMap::new()),
+            fault: Mutex::new(None),
         })
+    }
+
+    /// Installs a fault plan governing packet fates on this network.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock() = plan;
     }
 
     /// Attaches a machine (via its LRPC runtime) to the network under
@@ -130,6 +138,8 @@ impl RemoteTransport for Internet {
         let req_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * req_packets;
         cpu.charge(req_cost);
         meter.record(Phase::Network, req_cost);
+        let plan = self.fault.lock().clone();
+        apply_packet_faults(plan.as_ref(), "internet:req", req_packets, cpu, meter)?;
 
         // The remote machine's network-protocol domain makes an ordinary
         // LRPC to the local exporter. The caller blocks for all of it, so
@@ -147,6 +157,7 @@ impl RemoteTransport for Internet {
         let reply_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * reply_packets;
         cpu.charge(reply_cost);
         meter.record(Phase::Network, reply_cost);
+        apply_packet_faults(plan.as_ref(), "internet:reply", reply_packets, cpu, meter)?;
 
         Ok((out.ret, out.outs))
     }

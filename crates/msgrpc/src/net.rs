@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use firefly::cpu::Cpu;
+use firefly::fault::FaultPlan;
 use firefly::meter::{Meter, Phase};
 use firefly::time::Nanos;
 use idl::layout::ETHERNET_PACKET_SIZE;
@@ -44,6 +45,7 @@ struct RemoteExport {
 pub struct RemoteMachine {
     name: String,
     exports: Mutex<HashMap<String, Arc<RemoteExport>>>,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl RemoteMachine {
@@ -52,12 +54,18 @@ impl RemoteMachine {
         Arc::new(RemoteMachine {
             name: name.into(),
             exports: Mutex::new(HashMap::new()),
+            fault: Mutex::new(None),
         })
     }
 
     /// The host name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Installs a fault plan governing this machine's packet fates.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock() = plan;
     }
 
     /// Exports an interface on the remote machine.
@@ -87,6 +95,41 @@ impl RemoteMachine {
 /// for empty payloads).
 pub fn packets_for(bytes: usize) -> u64 {
     (bytes.max(1)).div_ceil(ETHERNET_PACKET_SIZE) as u64
+}
+
+/// Runs one wire leg of `count` packets through the fault plan: each
+/// retransmission re-pays the full per-packet send cost, duplicates bill
+/// the receiver one extra processing charge, delays ride on the wire, and
+/// a packet lost [`firefly::fault::MAX_RETRANSMISSIONS`] times fails the
+/// call with [`CallError::Network`]. With no plan (or all-zero knobs) this
+/// charges nothing and always succeeds.
+pub fn apply_packet_faults(
+    plan: Option<&Arc<FaultPlan>>,
+    site: &str,
+    count: u64,
+    cpu: &Cpu,
+    meter: &mut Meter,
+) -> Result<(), CallError> {
+    let Some(plan) = plan else { return Ok(()) };
+    let per_send = PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET;
+    for _ in 0..count {
+        let fate = plan.packet_fate(site);
+        let mut extra = FaultPlan::retransmission_cost(&fate, per_send);
+        if fate.duplicated {
+            extra += PACKET_PROCESSING;
+        }
+        if !extra.is_zero() {
+            cpu.charge(extra);
+            meter.record(Phase::Network, extra);
+        }
+        if fate.lost_forever {
+            return Err(CallError::Network(format!(
+                "packet lost on {site} after {} retransmissions",
+                fate.retransmissions
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl RemoteTransport for RemoteMachine {
@@ -128,6 +171,14 @@ impl RemoteTransport for RemoteMachine {
             (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * req_packets + REMOTE_DISPATCH;
         cpu.charge(req_cost);
         meter.record(Phase::Network, req_cost);
+        let plan = self.fault.lock().clone();
+        apply_packet_faults(
+            plan.as_ref(),
+            &format!("net:{}:req", self.name),
+            req_packets,
+            cpu,
+            meter,
+        )?;
 
         // The remote server runs the procedure.
         let vals = marshal::unmarshal_args(proc, &payload)?;
@@ -140,6 +191,13 @@ impl RemoteTransport for RemoteMachine {
         let reply_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * reply_packets;
         cpu.charge(reply_cost);
         meter.record(Phase::Network, reply_cost);
+        apply_packet_faults(
+            plan.as_ref(),
+            &format!("net:{}:reply", self.name),
+            reply_packets,
+            cpu,
+            meter,
+        )?;
 
         let (ret, outs) = marshal::unmarshal_reply(proc, &reply_payload)?;
         Ok((ret, outs))

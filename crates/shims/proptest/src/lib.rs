@@ -277,9 +277,7 @@ pub mod strategy {
                     let mut set = Vec::new();
                     let mut prev: Option<char> = None;
                     loop {
-                        let c = chars
-                            .next()
-                            .expect("pattern: unterminated character class");
+                        let c = chars.next().expect("pattern: unterminated character class");
                         match c {
                             ']' => break,
                             '-' if prev.is_some() && chars.peek() != Some(&']') => {

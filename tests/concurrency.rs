@@ -218,6 +218,94 @@ fn concurrent_termination_and_calls_settle_cleanly() {
 }
 
 #[test]
+fn termination_with_outstanding_calls_fails_each_one_and_releases_pairs() {
+    // Section 5.3: the server domain terminates while several clients'
+    // threads are captured inside it. Every outstanding call must return
+    // with call-failed (never hang), and every A-stack/linkage pair must
+    // come back to its free queue.
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("doomed");
+    let inside = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+    let (inside2, gate2) = (Arc::clone(&inside), Arc::clone(&gate));
+    rt.export(
+        &server,
+        "interface D { [astacks = 4] procedure Hold(); }",
+        vec![Box::new(move |_: &ServerCtx, _: &[Value]| {
+            inside2.fetch_add(1, Ordering::SeqCst);
+            let (lock, cv) = &*gate2;
+            let mut released = lock.lock();
+            while !*released {
+                cv.wait(&mut released);
+            }
+            Ok(Reply::none())
+        }) as Handler],
+    )
+    .unwrap();
+
+    let clients: Vec<_> = (0..3)
+        .map(|i| rt.kernel().create_domain(format!("c{i}")))
+        .collect();
+    let bindings: Vec<_> = clients
+        .iter()
+        .map(|c| Arc::new(rt.import(c, "D").unwrap()))
+        .collect();
+
+    let callers: Vec<_> = clients
+        .iter()
+        .zip(&bindings)
+        .map(|(client, binding)| {
+            let rt = Arc::clone(&rt);
+            let binding = Arc::clone(binding);
+            let client = Arc::clone(client);
+            std::thread::spawn(move || {
+                let thread = rt.kernel().spawn_thread(&client);
+                let result = binding.call_indexed(0, &thread, 0, &[]);
+                (result, thread.call_depth())
+            })
+        })
+        .collect();
+
+    // Wait until all three threads are captured inside the server, then
+    // pull the domain out from under them and let the handlers return.
+    while inside.load(Ordering::SeqCst) < 3 {
+        std::thread::yield_now();
+    }
+    rt.terminate_domain(&server);
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    for caller in callers {
+        let (result, depth) = caller.join().expect("caller must not panic");
+        assert!(
+            matches!(result, Err(CallError::CallFailed)),
+            "an outstanding call sees call-failed, got {result:?}"
+        );
+        assert_eq!(depth, 0, "the linkage stack unwound");
+    }
+    for binding in &bindings {
+        let astacks = &binding.state().astacks;
+        assert_eq!(astacks.free_count(0), 4, "every A-stack back on its queue");
+        let mut i = 0;
+        while let Some(slot) = astacks.linkage(i) {
+            assert!(!slot.is_in_use(), "linkage record {i} left claimed");
+            i += 1;
+        }
+    }
+    assert_eq!(rt.kernel().snapshot().threads_in_calls, 0);
+}
+
+#[test]
 fn estack_pool_reclaims_under_concurrent_pressure() {
     // A tiny E-stack budget with many A-stacks forces the LRU reclamation
     // path while four threads hammer the server.
