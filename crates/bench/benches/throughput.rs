@@ -23,36 +23,15 @@ fn bench_contention_sim(c: &mut Criterion) {
     group.bench_function("full_figure2", |b| {
         b.iter(|| black_box(experiments::figure2().speedup_4))
     });
-    // One simulated second at 4 CPUs.
+    // One simulated second at 4 CPUs, over the same ResourcePlan layout
+    // (shared bus + private per-CPU A-stack queue) the experiment uses.
     let cost = firefly::cost::CostModel::cvax_firefly();
-    let profiles: Vec<_> = (0..4)
-        .map(|i| {
-            use firefly::contention::{CallProfile, ResourceId, Seg};
-            let total = cost.lrpc_null_serial();
-            let bus = cost.bus_time_null_call;
-            let q = cost.astack_queue_op;
-            let compute = total - bus - q * 2;
-            CallProfile::new(vec![
-                Seg::Use {
-                    res: ResourceId(1 + i),
-                    hold: q,
-                },
-                Seg::Compute(compute / 2),
-                Seg::Use {
-                    res: ResourceId(0),
-                    hold: bus,
-                },
-                Seg::Compute(compute - compute / 2),
-                Seg::Use {
-                    res: ResourceId(1 + i),
-                    hold: q,
-                },
-            ])
-        })
-        .collect();
+    let (profiles, _bus, resources) = experiments::lrpc_parallel_profiles(&cost, 4);
     group.throughput(Throughput::Elements(1));
     group.bench_function("simulate_1s_4cpu", |b| {
-        b.iter(|| black_box(simulate_throughput(&profiles, 5, Nanos::from_secs(1)).total_calls()))
+        b.iter(|| {
+            black_box(simulate_throughput(&profiles, resources, Nanos::from_secs(1)).total_calls())
+        })
     });
     group.finish();
 }

@@ -1,0 +1,291 @@
+//! `bench` — runs the host-parallel Figure-2 experiment and persists the
+//! measured trajectory.
+//!
+//! ```text
+//! bench [--calls N] [--threads K]    run the sweep; append one entry to
+//!                                    BENCH_throughput.json and
+//!                                    BENCH_latency.json at the repo root
+//! bench --validate FILE...           check that each file is a
+//!                                    well-formed BENCH trajectory
+//! ```
+//!
+//! Each run *appends* to the `trajectory` array of both files, so the
+//! repo accumulates a measured history keyed by git revision; CI
+//! validates the files on every push.
+
+use std::process::ExitCode;
+
+use bench::host_parallel;
+use bench::json::Json;
+
+const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
+const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--calls N] [--threads K]\n       bench --validate FILE...");
+    std::process::exit(2);
+}
+
+fn git_output(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let text = text.trim();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    }
+}
+
+/// The repo root (so the BENCH files land in a fixed place no matter the
+/// working directory), falling back to `.` outside a checkout.
+fn repo_root() -> std::path::PathBuf {
+    git_output(&["rev-parse", "--show-toplevel"])
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+fn git_rev() -> String {
+    git_output(&["rev-parse", "--short=12", "HEAD"]).unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Loads an existing trajectory file, or starts a fresh document.
+fn load_or_init(path: &std::path::Path, schema: &str, experiment: &str) -> Json {
+    match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!(
+                    "bench: {} exists but is not valid JSON ({e}); starting fresh",
+                    path.display()
+                );
+                init_doc(schema, experiment)
+            }
+        },
+        Err(_) => init_doc(schema, experiment),
+    }
+}
+
+fn init_doc(schema: &str, experiment: &str) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(schema.into())),
+        ("experiment".into(), Json::Str(experiment.into())),
+        ("trajectory".into(), Json::Arr(Vec::new())),
+    ])
+}
+
+fn push_entry(doc: &mut Json, entry: Json) {
+    if let Json::Obj(members) = doc {
+        for (k, v) in members.iter_mut() {
+            if k == "trajectory" {
+                if let Json::Arr(items) = v {
+                    items.push(entry);
+                    return;
+                }
+            }
+        }
+        members.push(("trajectory".into(), Json::Arr(vec![entry])));
+    }
+}
+
+fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
+    let report = host_parallel::run_null_throughput(max_threads, calls_per_thread);
+    print!("{}", host_parallel::render(&report));
+
+    let rev = git_rev();
+    let throughput_points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(p.threads as f64)),
+                ("total_calls".into(), Json::Num(p.total_calls as f64)),
+                ("calls_per_sec".into(), Json::Num(p.calls_per_sec)),
+                ("wall_ns_per_call".into(), Json::Num(p.wall_ns_per_call)),
+            ])
+        })
+        .collect();
+    let latency_points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(p.threads as f64)),
+                ("ns_per_call".into(), Json::Num(p.virtual_ns_per_call)),
+                ("wall_ns_per_call".into(), Json::Num(p.wall_ns_per_call)),
+            ])
+        })
+        .collect();
+
+    let root = repo_root();
+    let files = [
+        (
+            root.join("BENCH_throughput.json"),
+            THROUGHPUT_SCHEMA,
+            throughput_points,
+        ),
+        (
+            root.join("BENCH_latency.json"),
+            LATENCY_SCHEMA,
+            latency_points,
+        ),
+    ];
+    for (path, schema, points) in files {
+        let mut doc = load_or_init(&path, schema, "figure2-host-parallel-null");
+        let entry = Json::Obj(vec![
+            ("git_rev".into(), Json::Str(rev.clone())),
+            (
+                "experiment".into(),
+                Json::Str("figure2-host-parallel-null".into()),
+            ),
+            (
+                "calls_per_thread".into(),
+                Json::Num(calls_per_thread as f64),
+            ),
+            ("points".into(), Json::Arr(points)),
+            ("speedup_at_max".into(), Json::Num(report.speedup_at_max)),
+        ]);
+        push_entry(&mut doc, entry);
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates one trajectory file; returns every problem found.
+fn validate_doc(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if !matches!(schema, Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA)) {
+        problems.push(format!("unknown or missing schema {schema:?}"));
+    }
+    if doc.get("experiment").and_then(Json::as_str).is_none() {
+        problems.push("missing `experiment`".into());
+    }
+    let Some(trajectory) = doc.get("trajectory").and_then(Json::as_arr) else {
+        problems.push("missing `trajectory` array".into());
+        return problems;
+    };
+    if trajectory.is_empty() {
+        problems.push("empty trajectory (no runs recorded)".into());
+    }
+    for (i, entry) in trajectory.iter().enumerate() {
+        for key in ["git_rev", "experiment"] {
+            if entry.get(key).and_then(Json::as_str).is_none() {
+                problems.push(format!("entry {i}: missing string `{key}`"));
+            }
+        }
+        if entry.get("speedup_at_max").and_then(Json::as_f64).is_none() {
+            problems.push(format!("entry {i}: missing number `speedup_at_max`"));
+        }
+        let Some(points) = entry.get("points").and_then(Json::as_arr) else {
+            problems.push(format!("entry {i}: missing `points` array"));
+            continue;
+        };
+        if points.is_empty() {
+            problems.push(format!("entry {i}: empty `points`"));
+        }
+        let metric = if schema == Some(LATENCY_SCHEMA) {
+            "ns_per_call"
+        } else {
+            "calls_per_sec"
+        };
+        for (j, p) in points.iter().enumerate() {
+            if p.get("threads").and_then(Json::as_f64).is_none() {
+                problems.push(format!("entry {i} point {j}: missing `threads`"));
+            }
+            match p.get(metric).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => problems.push(format!(
+                    "entry {i} point {j}: missing or non-positive `{metric}`"
+                )),
+            }
+        }
+    }
+    problems
+}
+
+fn validate(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let problems = validate_doc(&doc);
+        if problems.is_empty() {
+            let runs = doc
+                .get("trajectory")
+                .and_then(Json::as_arr)
+                .map(|t| t.len())
+                .unwrap_or(0);
+            println!("{path}: ok ({runs} recorded runs)");
+        } else {
+            for p in &problems {
+                eprintln!("{path}: {p}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut calls_per_thread = 2_000usize;
+    let mut max_threads = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--validate" => {
+                let rest = &args[i + 1..];
+                if rest.is_empty() {
+                    usage();
+                }
+                return validate(rest);
+            }
+            "--calls" => {
+                i += 1;
+                calls_per_thread = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                max_threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if calls_per_thread == 0 || max_threads == 0 {
+        usage();
+    }
+    run(calls_per_thread, max_threads)
+}

@@ -5,7 +5,7 @@
 //! the workload generators) and renders a report comparing the measured
 //! values with the numbers printed in the paper.
 
-use firefly::contention::{simulate_throughput, CallProfile, ResourceId, Seg};
+use firefly::contention::{simulate_throughput, CallProfile, ResourceId, ResourcePlan, Seg};
 use firefly::cost::CostModel;
 use firefly::meter::Phase;
 use firefly::time::Nanos;
@@ -625,43 +625,65 @@ pub struct Figure2 {
     pub microvax_speedup_5: f64,
 }
 
-fn lrpc_profile(cost: &CostModel, cpu_index: usize) -> CallProfile {
-    // Resources: 0 = the memory bus; 1 + i = CPU i's own A-stack queue
-    // (each client binds separately, so queues are per-client).
+fn lrpc_profile(cost: &CostModel, bus: ResourceId, queue: ResourceId) -> CallProfile {
     let elapsed = cost.lrpc_null_serial();
     let queue_op = cost.astack_queue_op;
-    let bus = cost.bus_time_null_call;
-    let compute = elapsed - bus - queue_op * 2;
+    let bus_hold = cost.bus_time_null_call;
+    let compute = elapsed - bus_hold - queue_op * 2;
     CallProfile::new(vec![
         Seg::Use {
-            res: ResourceId(1 + cpu_index),
+            res: queue,
             hold: queue_op,
         },
         Seg::Compute(compute / 2),
         Seg::Use {
-            res: ResourceId(0),
-            hold: bus,
+            res: bus,
+            hold: bus_hold,
         },
         Seg::Compute(compute - compute / 2),
         Seg::Use {
-            res: ResourceId(1 + cpu_index),
+            res: queue,
             hold: queue_op,
         },
     ])
 }
 
-fn src_profile(cost: &MsgRpcCost) -> CallProfile {
+/// Builds the per-CPU LRPC call profiles of the Figure-2 contention model
+/// over a [`ResourcePlan`]: one *shared* memory bus every call crosses
+/// once, plus a *private* A-stack queue per calling CPU (each client binds
+/// separately, so queues never contend across CPUs). Returns the profiles,
+/// the bus resource (for utilization queries) and the total resource count
+/// to size the simulation with.
+pub fn lrpc_parallel_profiles(
+    cost: &CostModel,
+    n_cpus: usize,
+) -> (Vec<CallProfile>, ResourceId, usize) {
+    let mut plan = ResourcePlan::new();
+    let bus = plan.shared();
+    let queues = plan.per_cpu(n_cpus);
+    let profiles = (0..n_cpus)
+        .map(|i| lrpc_profile(cost, bus, queues.for_cpu(i)))
+        .collect();
+    (profiles, bus, plan.resource_count())
+}
+
+/// Builds the SRC RPC profiles: every call serializes on one shared global
+/// lock, which is why Figure 2 shows it flat with added processors.
+fn src_parallel_profiles(cost: &MsgRpcCost, n_cpus: usize) -> (Vec<CallProfile>, usize) {
+    let mut plan = ResourcePlan::new();
+    let lock = plan.shared();
     let elapsed = cost.null_actual();
-    let lock = cost.global_lock_held;
-    let compute = elapsed - lock;
-    CallProfile::new(vec![
+    let held = cost.global_lock_held;
+    let compute = elapsed - held;
+    let profile = CallProfile::new(vec![
         Seg::Compute(compute / 2),
         Seg::Use {
-            res: ResourceId(0),
-            hold: lock,
+            res: lock,
+            hold: held,
         },
         Seg::Compute(compute - compute / 2),
-    ])
+    ]);
+    (vec![profile; n_cpus], plan.resource_count())
 }
 
 /// Regenerates Figure 2 via the deterministic virtual-time contention
@@ -674,13 +696,13 @@ pub fn figure2() -> Figure2 {
     let mut points = Vec::new();
     let mut bus_utilization_4 = 0.0;
     for n in 1..=4usize {
-        let lrpc_profiles: Vec<CallProfile> = (0..n).map(|i| lrpc_profile(&cvax, i)).collect();
-        let lrpc_report = simulate_throughput(&lrpc_profiles, 1 + n, SECOND);
+        let (lrpc_profiles, bus, lrpc_resources) = lrpc_parallel_profiles(&cvax, n);
+        let lrpc_report = simulate_throughput(&lrpc_profiles, lrpc_resources, SECOND);
         if n == 4 {
-            bus_utilization_4 = lrpc_report.utilization(ResourceId(0));
+            bus_utilization_4 = lrpc_report.utilization(bus);
         }
-        let src_profiles = vec![src_profile(&src); n];
-        let src_report = simulate_throughput(&src_profiles, 1, SECOND);
+        let (src_profiles, src_resources) = src_parallel_profiles(&src, n);
+        let src_report = simulate_throughput(&src_profiles, src_resources, SECOND);
         let single = 1_000_000.0 / cvax.lrpc_null_serial().as_micros_f64();
         points.push(Figure2Point {
             cpus: n,
@@ -693,9 +715,10 @@ pub fn figure2() -> Figure2 {
 
     // The five-processor MicroVAX II Firefly.
     let mv = CostModel::microvax_ii_firefly();
-    let one = simulate_throughput(&[lrpc_profile(&mv, 0)], 2, SECOND).calls_per_second();
-    let five_profiles: Vec<CallProfile> = (0..5).map(|i| lrpc_profile(&mv, i)).collect();
-    let five = simulate_throughput(&five_profiles, 6, SECOND).calls_per_second();
+    let (one_profiles, _, one_resources) = lrpc_parallel_profiles(&mv, 1);
+    let one = simulate_throughput(&one_profiles, one_resources, SECOND).calls_per_second();
+    let (five_profiles, _, five_resources) = lrpc_parallel_profiles(&mv, 5);
+    let five = simulate_throughput(&five_profiles, five_resources, SECOND).calls_per_second();
     Figure2 {
         points,
         speedup_4,

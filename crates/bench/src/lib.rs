@@ -9,3 +9,5 @@
 pub mod ablations;
 pub mod common;
 pub mod experiments;
+pub mod host_parallel;
+pub mod json;

@@ -21,6 +21,82 @@ use crate::time::Nanos;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ResourceId(pub usize);
 
+/// Allocates non-colliding [`ResourceId`]s for a contention experiment.
+///
+/// Figure-2 style profiles mix *shared* resources (the memory bus, a
+/// global lock) with *private per-CPU* resources (each client's own
+/// A-stack queue). Hand-numbering ids (`ResourceId(0)` for the bus,
+/// `ResourceId(1 + cpu)` for the queues) is easy to get wrong — an
+/// off-by-one silently aliases a "private" queue with the bus, turning it
+/// into a global lock and collapsing the simulated speedup. A plan hands
+/// out disjoint id ranges and knows the total resource count to pass to
+/// [`simulate_throughput`].
+#[derive(Debug, Default)]
+pub struct ResourcePlan {
+    next: usize,
+}
+
+impl ResourcePlan {
+    /// An empty plan.
+    pub fn new() -> ResourcePlan {
+        ResourcePlan::default()
+    }
+
+    /// Reserves one resource shared by every CPU (a bus, a global lock).
+    pub fn shared(&mut self) -> ResourceId {
+        let id = ResourceId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Reserves a block of `n_cpus` private resources, one per CPU
+    /// (per-client A-stack queues, per-CPU run queues).
+    pub fn per_cpu(&mut self, n_cpus: usize) -> PerCpuResources {
+        let base = self.next;
+        self.next += n_cpus;
+        PerCpuResources {
+            base,
+            count: n_cpus,
+        }
+    }
+
+    /// Total resources reserved so far — the `n_resources` argument for
+    /// [`simulate_throughput`].
+    pub fn resource_count(&self) -> usize {
+        self.next
+    }
+}
+
+/// A block of per-CPU private resources reserved from a [`ResourcePlan`].
+#[derive(Clone, Copy, Debug)]
+pub struct PerCpuResources {
+    base: usize,
+    count: usize,
+}
+
+impl PerCpuResources {
+    /// The private resource of CPU `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the block — the caller asked for fewer
+    /// CPUs than it is now indexing, which is exactly the aliasing bug
+    /// this type exists to prevent.
+    pub fn for_cpu(&self, cpu: usize) -> ResourceId {
+        assert!(
+            cpu < self.count,
+            "CPU {cpu} outside this per-CPU resource block of {}",
+            self.count
+        );
+        ResourceId(self.base + cpu)
+    }
+
+    /// Number of CPUs covered.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
 /// One step of a call.
 #[derive(Clone, Copy, Debug)]
 pub enum Seg {
@@ -302,6 +378,30 @@ mod tests {
         assert_eq!(p.uncontended_latency(), Nanos::from_micros(150));
         assert_eq!(p.hold_time(ResourceId(1)), Nanos::from_micros(50));
         assert_eq!(p.hold_time(ResourceId(0)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn resource_plan_hands_out_disjoint_ids() {
+        let mut plan = ResourcePlan::new();
+        let bus = plan.shared();
+        let queues = plan.per_cpu(4);
+        let lock = plan.shared();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(bus);
+        seen.insert(lock);
+        for cpu in 0..4 {
+            assert!(seen.insert(queues.for_cpu(cpu)), "per-CPU id aliased");
+        }
+        assert_eq!(plan.resource_count(), 6);
+        assert_eq!(queues.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside this per-CPU resource block")]
+    fn per_cpu_block_rejects_out_of_range_cpu() {
+        let mut plan = ResourcePlan::new();
+        let queues = plan.per_cpu(2);
+        let _ = queues.for_cpu(2);
     }
 
     #[test]

@@ -31,10 +31,16 @@ pub struct Cpu {
     vclock: AtomicU64,
     tlb: Mutex<Tlb>,
     current_ctx: AtomicU64,
-    /// `Some(ctx)` while the CPU spins idle with `ctx` loaded, waiting to
-    /// be claimed by a call into that domain.
-    idle_in: Mutex<Option<ContextId>>,
+    /// Context id the CPU spins idle in (waiting to be claimed by a call
+    /// into that domain), or [`NO_IDLE_CTX`] when not idling. Kept as a
+    /// bare atomic so the idle-processor probe on the call fast path is a
+    /// single compare-exchange, never a lock.
+    idle_in: AtomicU64,
 }
+
+/// Sentinel for "not idling". Context ids are allocated from a counter
+/// starting at 0, so `u64::MAX` can never collide with a real context.
+const NO_IDLE_CTX: u64 = u64::MAX;
 
 impl Cpu {
     fn new(id: usize, tlb_mode: TlbMode) -> Cpu {
@@ -43,7 +49,7 @@ impl Cpu {
             vclock: AtomicU64::new(0),
             tlb: Mutex::new(Tlb::new(tlb_mode, 256)),
             current_ctx: AtomicU64::new(ContextId::KERNEL.0),
-            idle_in: Mutex::new(None),
+            idle_in: AtomicU64::new(NO_IDLE_CTX),
         }
     }
 
@@ -122,27 +128,31 @@ impl Cpu {
 
     /// Marks the CPU as idling in `ctx` (or not idling, with `None`).
     pub fn set_idle_in(&self, ctx: Option<ContextId>) {
-        *self.idle_in.lock() = ctx;
-        if let Some(c) = ctx {
-            self.current_ctx.store(c.0, Ordering::Release);
+        match ctx {
+            Some(c) => {
+                self.idle_in.store(c.0, Ordering::SeqCst);
+                self.current_ctx.store(c.0, Ordering::Release);
+            }
+            None => self.idle_in.store(NO_IDLE_CTX, Ordering::SeqCst),
         }
     }
 
     /// The context the CPU is idling in, if any.
     pub fn idle_in(&self) -> Option<ContextId> {
-        *self.idle_in.lock()
+        match self.idle_in.load(Ordering::SeqCst) {
+            NO_IDLE_CTX => None,
+            ctx => Some(ContextId(ctx)),
+        }
     }
 
     /// Atomically claims this CPU if it is idling in `ctx`; on success the
-    /// CPU stops idling and `true` is returned.
+    /// CPU stops idling and `true` is returned. Lock-free: a single
+    /// compare-exchange, so concurrent callers race for the claim and
+    /// exactly one wins.
     pub fn try_claim_idle(&self, ctx: ContextId) -> bool {
-        let mut idle = self.idle_in.lock();
-        if *idle == Some(ctx) {
-            *idle = None;
-            true
-        } else {
-            false
-        }
+        self.idle_in
+            .compare_exchange(ctx.0, NO_IDLE_CTX, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// Lifetime TLB miss count for this CPU.
@@ -249,18 +259,21 @@ impl Machine {
     pub fn create_context(&self) -> Arc<VmContext> {
         let id = ContextId(self.next_ctx.fetch_add(1, Ordering::Relaxed));
         let ctx = Arc::new(VmContext::new(id));
+        crate::meter::note_global_lock();
         self.contexts.lock().insert(id, Arc::clone(&ctx));
         ctx
     }
 
     /// Looks up a context by id.
     pub fn context(&self, id: ContextId) -> Option<Arc<VmContext>> {
+        crate::meter::note_global_lock();
         self.contexts.lock().get(&id).cloned()
     }
 
     /// Destroys a context (domain termination).
     pub fn destroy_context(&self, id: ContextId) {
         if id != ContextId::KERNEL {
+            crate::meter::note_global_lock();
             self.contexts.lock().remove(&id);
         }
     }
@@ -423,6 +436,25 @@ mod tests {
             None,
             "a claimed CPU is no longer idle"
         );
+    }
+
+    #[test]
+    fn concurrent_idle_claims_find_one_winner_each() {
+        let m = Machine::cvax_firefly();
+        let ctx = m.create_context();
+        m.cpu(1).set_idle_in(Some(ctx.id()));
+        m.cpu(3).set_idle_in(Some(ctx.id()));
+        let claims: Vec<Option<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| m.claim_idle_cpu_in(ctx.id())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut won: Vec<usize> = claims.into_iter().flatten().collect();
+        won.sort_unstable();
+        assert_eq!(won, vec![1, 3], "each idle CPU is claimed exactly once");
+        assert_eq!(m.cpu(1).idle_in(), None);
+        assert_eq!(m.cpu(3).idle_in(), None);
     }
 
     #[test]

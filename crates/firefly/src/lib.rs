@@ -36,13 +36,16 @@ pub mod time;
 pub mod tlb;
 pub mod vm;
 
-pub use contention::{simulate_throughput, CallProfile, ResourceId, Seg, ThroughputReport};
+pub use contention::{
+    simulate_throughput, CallProfile, PerCpuResources, ResourceId, ResourcePlan, Seg,
+    ThroughputReport,
+};
 pub use cost::{CostModel, ProcessorTimings};
 pub use cpu::{Cpu, Machine};
 pub use error::MemFault;
 pub use fault::{DispatchFault, FaultConfig, FaultEvent, FaultKind, FaultPlan, PacketFate};
 pub use mem::{PageId, PhysMem, Region, RegionId, PAGE_SIZE};
-pub use meter::{Meter, Phase, Segment};
+pub use meter::{LockTally, Meter, Phase, Segment};
 pub use time::Nanos;
 pub use tlb::{Tlb, TlbMode};
 pub use vm::{ContextId, Protection, VmContext};

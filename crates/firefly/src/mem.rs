@@ -157,6 +157,12 @@ impl fmt::Debug for Region {
 }
 
 /// The machine's physical memory: an allocator and table of regions.
+///
+/// The region table is a process-global lock, so its acquisitions are
+/// reported to [`crate::meter::note_global_lock`]. None of them are on the
+/// LRPC fast path: calls address their A-stack and E-stack through `Arc`s
+/// captured at bind/associate time. Per-region byte locks in [`Region`]
+/// are per-object and uncounted.
 pub struct PhysMem {
     next_id: AtomicU64,
     regions: Mutex<Vec<Arc<Region>>>,
@@ -180,28 +186,33 @@ impl PhysMem {
             len,
             bytes: RwLock::new(vec![0u8; len]),
         });
+        crate::meter::note_global_lock();
         self.regions.lock().push(Arc::clone(&region));
         region
     }
 
     /// Looks up a region by id.
     pub fn get(&self, id: RegionId) -> Option<Arc<Region>> {
+        crate::meter::note_global_lock();
         self.regions.lock().iter().find(|r| r.id == id).cloned()
     }
 
     /// Releases a region from the table (outstanding `Arc`s keep the bytes
     /// alive; the region simply stops being addressable).
     pub fn free(&self, id: RegionId) {
+        crate::meter::note_global_lock();
         self.regions.lock().retain(|r| r.id != id);
     }
 
     /// Total bytes currently allocated.
     pub fn allocated_bytes(&self) -> usize {
+        crate::meter::note_global_lock();
         self.regions.lock().iter().map(|r| r.len).sum()
     }
 
     /// Number of live regions.
     pub fn region_count(&self) -> usize {
+        crate::meter::note_global_lock();
         self.regions.lock().len()
     }
 }

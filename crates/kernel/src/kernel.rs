@@ -34,6 +34,12 @@ pub struct TerminationReport {
 }
 
 /// The small kernel.
+///
+/// The domain and thread tables are process-global locks; every
+/// acquisition is reported to [`firefly::meter::note_global_lock`]. None
+/// of these tables are consulted on the LRPC call fast path — calls carry
+/// `Arc`s to their domains and threads — so the zero-global-lock test can
+/// hold.
 pub struct Kernel {
     machine: Arc<Machine>,
     next_domain: AtomicU64,
@@ -64,17 +70,20 @@ impl Kernel {
         let id = DomainId(self.next_domain.fetch_add(1, Ordering::Relaxed));
         let ctx = self.machine.create_context();
         let domain = Arc::new(Domain::new(id, name, ctx));
+        firefly::meter::note_global_lock();
         self.domains.lock().insert(id, Arc::clone(&domain));
         domain
     }
 
     /// Looks up a domain by id.
     pub fn domain(&self, id: DomainId) -> Option<Arc<Domain>> {
+        firefly::meter::note_global_lock();
         self.domains.lock().get(&id).cloned()
     }
 
     /// All live domains.
     pub fn domains(&self) -> Vec<Arc<Domain>> {
+        firefly::meter::note_global_lock();
         self.domains.lock().values().cloned().collect()
     }
 
@@ -82,17 +91,20 @@ impl Kernel {
     pub fn spawn_thread(&self, home: &Domain) -> Arc<Thread> {
         let id = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
         let thread = Arc::new(Thread::new(id, home.id()));
+        firefly::meter::note_global_lock();
         self.threads.lock().insert(id, Arc::clone(&thread));
         thread
     }
 
     /// Looks up a thread by id.
     pub fn thread(&self, id: ThreadId) -> Option<Arc<Thread>> {
+        firefly::meter::note_global_lock();
         self.threads.lock().get(&id).cloned()
     }
 
     /// All live threads.
     pub fn threads(&self) -> Vec<Arc<Thread>> {
+        firefly::meter::note_global_lock();
         self.threads.lock().values().cloned().collect()
     }
 
@@ -177,6 +189,7 @@ impl Kernel {
         self.machine.destroy_context(domain.ctx().id());
 
         domain.set_state(DomainState::Dead);
+        firefly::meter::note_global_lock();
         self.domains.lock().remove(&domain.id());
         report
     }
@@ -199,6 +212,7 @@ impl Kernel {
             replacement.push_linkage(l);
         }
         replacement.set_current_domain(top.caller_domain);
+        firefly::meter::note_global_lock();
         self.threads.lock().insert(id, Arc::clone(&replacement));
         Some(replacement)
     }
@@ -231,6 +245,7 @@ impl Kernel {
 
     /// Removes a destroyed thread from the kernel table.
     pub fn reap_thread(&self, id: ThreadId) {
+        firefly::meter::note_global_lock();
         let mut threads = self.threads.lock();
         if threads
             .get(&id)

@@ -17,6 +17,10 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 /// A table of named exports with blocking lookup.
+///
+/// The table is a process-global lock (reported to
+/// [`firefly::meter::note_global_lock`]); it is only consulted at bind
+/// time, never during a call.
 pub struct NameServer<T> {
     table: Mutex<HashMap<String, T>>,
     registered: Condvar,
@@ -34,18 +38,21 @@ impl<T: Clone> NameServer<T> {
     /// Registers (or replaces) an export under `name` and wakes any
     /// waiting importers.
     pub fn register(&self, name: impl Into<String>, export: T) {
+        firefly::meter::note_global_lock();
         self.table.lock().insert(name.into(), export);
         self.registered.notify_all();
     }
 
     /// Removes the export under `name`, returning it if present.
     pub fn unregister(&self, name: &str) -> Option<T> {
+        firefly::meter::note_global_lock();
         self.table.lock().remove(name)
     }
 
     /// Removes every export matching `pred` (used when a domain
     /// terminates), returning the removed names.
     pub fn unregister_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<String> {
+        firefly::meter::note_global_lock();
         let mut table = self.table.lock();
         let names: Vec<String> = table
             .iter()
@@ -60,6 +67,7 @@ impl<T: Clone> NameServer<T> {
 
     /// Non-blocking lookup.
     pub fn lookup(&self, name: &str) -> Option<T> {
+        firefly::meter::note_global_lock();
         self.table.lock().get(name).cloned()
     }
 
@@ -68,6 +76,7 @@ impl<T: Clone> NameServer<T> {
     /// Returns `None` on timeout. This models the importer waiting while
     /// the kernel notifies the server's clerk.
     pub fn import_wait(&self, name: &str, timeout: Duration) -> Option<T> {
+        firefly::meter::note_global_lock();
         let mut table = self.table.lock();
         loop {
             if let Some(v) = table.get(name) {
@@ -81,6 +90,7 @@ impl<T: Clone> NameServer<T> {
 
     /// Number of live registrations.
     pub fn len(&self) -> usize {
+        firefly::meter::note_global_lock();
         self.table.lock().len()
     }
 
@@ -91,6 +101,7 @@ impl<T: Clone> NameServer<T> {
 
     /// All registered names.
     pub fn names(&self) -> Vec<String> {
+        firefly::meter::note_global_lock();
         self.table.lock().keys().cloned().collect()
     }
 }

@@ -6,11 +6,23 @@
 //! a [`RawHandle`] carrying both a table index and a 64-bit nonce; lookup
 //! fails unless both match, and revocation invalidates the handle without
 //! reusing the nonce.
+//!
+//! The table is *sharded* (Section 3.4, "design for concurrency"): entries
+//! are spread over [`SHARD_COUNT`] independently locked shards keyed by the
+//! handle id, so Binding Object validation on the call fast path only
+//! touches the one shard owning the handle — concurrent calls through
+//! different bindings never serialize on a common lock. Validation takes
+//! the shard's read lock, so concurrent readers of even the *same* binding
+//! proceed in parallel; only insert/revoke write.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
+
+/// Number of shards. A power of two so `id % SHARD_COUNT` is a mask;
+/// sequential ids round-robin across shards.
+pub const SHARD_COUNT: usize = 16;
 
 /// A kernel-issued, forgery-detectable object handle.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -46,10 +58,11 @@ impl std::error::Error for HandleError {}
 /// SplitMix64 — a small deterministic generator for handle nonces.
 ///
 /// The simulation does not need cryptographic nonces, only the *mechanism*
-/// of nonce validation; determinism keeps experiments reproducible.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+/// of nonce validation; determinism keeps experiments reproducible. Pure
+/// function of the sequence position, so nonce generation needs no lock —
+/// an atomic counter supplies the positions.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -58,8 +71,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// A table of kernel objects addressed by forgery-detectable handles.
 pub struct HandleTable<T> {
     next_id: AtomicU64,
-    nonce_state: Mutex<u64>,
-    entries: Mutex<HashMap<u64, (u64, T)>>,
+    nonce_seq: AtomicU64,
+    shards: Vec<RwLock<HashMap<u64, (u64, T)>>>,
 }
 
 impl<T> HandleTable<T> {
@@ -67,26 +80,41 @@ impl<T> HandleTable<T> {
     pub fn new() -> HandleTable<T> {
         HandleTable {
             next_id: AtomicU64::new(1),
-            nonce_state: Mutex::new(0xF1FE_F1FE_0001_0001),
-            entries: Mutex::new(HashMap::new()),
+            nonce_seq: AtomicU64::new(0xF1FE_F1FE_0001_0001),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
+    }
+
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, (u64, T)>> {
+        &self.shards[(id as usize) & (SHARD_COUNT - 1)]
     }
 
     /// Registers an object and returns its handle.
     pub fn insert(&self, value: T) -> RawHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let nonce = splitmix64(&mut self.nonce_state.lock());
-        self.entries.lock().insert(id, (nonce, value));
+        let seq = self
+            .nonce_seq
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let nonce = splitmix64(seq);
+        firefly::meter::note_sharded_lock();
+        self.shard(id).write().insert(id, (nonce, value));
         RawHandle { id, nonce }
     }
 
     /// Validates a handle and clones out the object.
+    ///
+    /// This is the call-fast-path entry: a read lock on one shard, shared
+    /// with every concurrent validation of handles in the same shard.
     pub fn get(&self, handle: RawHandle) -> Result<T, HandleError>
     where
         T: Clone,
     {
-        let entries = self.entries.lock();
-        match entries.get(&handle.id) {
+        firefly::meter::note_sharded_lock();
+        let shard = self.shard(handle.id).read();
+        match shard.get(&handle.id) {
             None => Err(HandleError::Dangling),
             Some((nonce, _)) if *nonce != handle.nonce => Err(HandleError::Forged),
             Some((_, v)) => Ok(v.clone()),
@@ -95,8 +123,9 @@ impl<T> HandleTable<T> {
 
     /// Validates a handle and applies `f` to the object in place.
     pub fn with<R>(&self, handle: RawHandle, f: impl FnOnce(&T) -> R) -> Result<R, HandleError> {
-        let entries = self.entries.lock();
-        match entries.get(&handle.id) {
+        firefly::meter::note_sharded_lock();
+        let shard = self.shard(handle.id).read();
+        match shard.get(&handle.id) {
             None => Err(HandleError::Dangling),
             Some((nonce, _)) if *nonce != handle.nonce => Err(HandleError::Forged),
             Some((_, v)) => Ok(f(v)),
@@ -107,32 +136,44 @@ impl<T> HandleTable<T> {
     ///
     /// Returns the object if the handle was live.
     pub fn revoke(&self, handle: RawHandle) -> Option<T> {
-        let mut entries = self.entries.lock();
-        match entries.get(&handle.id) {
-            Some((nonce, _)) if *nonce == handle.nonce => {
-                entries.remove(&handle.id).map(|(_, v)| v)
-            }
+        firefly::meter::note_sharded_lock();
+        let mut shard = self.shard(handle.id).write();
+        match shard.get(&handle.id) {
+            Some((nonce, _)) if *nonce == handle.nonce => shard.remove(&handle.id).map(|(_, v)| v),
             _ => None,
         }
     }
 
     /// Revokes every handle whose object matches `pred`, returning the
-    /// revoked objects.
+    /// revoked objects (termination sweep — a slow path that visits every
+    /// shard in turn, never holding two shard locks at once).
     pub fn revoke_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
-        let mut entries = self.entries.lock();
-        let ids: Vec<u64> = entries
-            .iter()
-            .filter(|(_, (_, v))| pred(v))
-            .map(|(id, _)| *id)
-            .collect();
-        ids.into_iter()
-            .filter_map(|id| entries.remove(&id).map(|(_, v)| v))
-            .collect()
+        let mut revoked = Vec::new();
+        for shard in &self.shards {
+            firefly::meter::note_sharded_lock();
+            let mut shard = shard.write();
+            let ids: Vec<u64> = shard
+                .iter()
+                .filter(|(_, (_, v))| pred(v))
+                .map(|(id, _)| *id)
+                .collect();
+            revoked.extend(
+                ids.into_iter()
+                    .filter_map(|id| shard.remove(&id).map(|(_, v)| v)),
+            );
+        }
+        revoked
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                firefly::meter::note_sharded_lock();
+                s.read().len()
+            })
+            .sum()
     }
 
     /// True if no objects are live.
@@ -216,5 +257,41 @@ mod tests {
         let b = table.insert(0u8);
         assert_ne!(a.nonce, b.nonce);
         assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        // More entries than shards: every shard must own at least one, so
+        // concurrent validations of distinct handles rarely share a lock.
+        let table = HandleTable::new();
+        let handles: Vec<RawHandle> = (0..SHARD_COUNT * 4).map(|i| table.insert(i)).collect();
+        let mut per_shard = [0usize; SHARD_COUNT];
+        for h in &handles {
+            per_shard[(h.id as usize) & (SHARD_COUNT - 1)] += 1;
+        }
+        assert!(per_shard.iter().all(|&n| n > 0), "a shard got no entries");
+        assert_eq!(table.len(), SHARD_COUNT * 4);
+    }
+
+    #[test]
+    fn concurrent_insert_get_revoke_stays_consistent() {
+        use std::sync::Arc;
+        let table: Arc<HandleTable<usize>> = Arc::new(HandleTable::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let table = Arc::clone(&table);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let h = table.insert(t * 1_000 + i);
+                        assert_eq!(table.get(h), Ok(t * 1_000 + i));
+                        if i % 2 == 0 {
+                            assert_eq!(table.revoke(h), Some(t * 1_000 + i));
+                            assert_eq!(table.get(h), Err(HandleError::Dangling));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(table.len(), 4 * 100, "odd-numbered inserts survive");
     }
 }

@@ -11,16 +11,26 @@
 //!   share A-stacks");
 //! * the primary A-stacks of an interface live contiguously in one region
 //!   so call-time validation is "a simple range check" (Section 5.2);
-//! * each class's free list is a LIFO queue guarded by its own lock
-//!   ("Each A-stack queue is guarded by its own lock", Section 3.4);
+//! * each class's free list is a LIFO queue private to the binding
+//!   ("Each A-stack queue is guarded by its own lock", Section 3.4) —
+//!   implemented here as a *lock-free* Treiber stack, so the paper's
+//!   per-queue critical section shrinks to one compare-exchange and
+//!   concurrent calls through different bindings (or different classes)
+//!   never serialize at all;
 //! * every A-stack has a kernel-private linkage slot, locatable from the
 //!   A-stack by arithmetic, whose `in_use` flag enforces that "no other
 //!   thread is currently using that A-stack/linkage pair";
 //! * when the pre-allocated A-stacks run out the client can wait or
 //!   allocate more; late allocations land in non-contiguous *overflow*
 //!   regions that "take slightly more time to validate" (Section 5.2).
+//!   Overflow indices are managed by a small mutex-guarded side list that
+//!   the fast path never touches while no overflow exists;
+//! * blocked waiters (the `Wait` exhaustion policy) park on a Condvar
+//!   behind a FIFO ticket queue, so releases wake clients in arrival
+//!   order — a starved caller cannot be overtaken indefinitely.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -136,14 +146,133 @@ impl LinkageSlot {
     }
 }
 
-struct ClassQueue {
-    free: Mutex<Vec<usize>>,
+/// A lock-free Treiber LIFO of primary A-stack indices.
+///
+/// `head` packs an ABA-prevention version in the upper 32 bits and
+/// `index + 1` in the lower 32 (0 = empty). Successor links live in the
+/// set-wide `links` array, indexed by A-stack index; classes own disjoint
+/// index ranges, so they never touch each other's links. The version is
+/// bumped on every successful CAS, so a head re-pointing at a node that
+/// was popped and re-pushed in between (the ABA scenario) cannot be
+/// mistaken for an unchanged head.
+///
+/// All operations are SeqCst: the empty-queue wait protocol below relies
+/// on a single total order between stack pushes/pops and the waiter
+/// counter.
+struct FreeStack {
+    head: AtomicU64,
+    free_len: AtomicUsize,
+}
+
+const EMPTY: u64 = 0;
+const LOW_MASK: u64 = 0xFFFF_FFFF;
+
+fn pack(version: u64, idx_plus1: u64) -> u64 {
+    (version << 32) | idx_plus1
+}
+
+impl FreeStack {
+    fn new() -> FreeStack {
+        FreeStack {
+            head: AtomicU64::new(EMPTY),
+            free_len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, links: &[AtomicU64], index: usize) {
+        let node = index as u64 + 1;
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            links[index].store(head & LOW_MASK, Ordering::SeqCst);
+            let next = pack((head >> 32) + 1, node);
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.free_len.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    fn pop(&self, links: &[AtomicU64]) -> Option<usize> {
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            let node = head & LOW_MASK;
+            if node == EMPTY {
+                return None;
+            }
+            let index = (node - 1) as usize;
+            let succ = links[index].load(Ordering::SeqCst) & LOW_MASK;
+            let next = pack((head >> 32) + 1, succ);
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.free_len.fetch_sub(1, Ordering::SeqCst);
+                    return Some(index);
+                }
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.free_len.load(Ordering::SeqCst)
+    }
+}
+
+/// FIFO queue of clients blocked on an exhausted class.
+struct WaitQueue {
+    /// Tickets of blocked waiters, front = longest waiting. The mutex also
+    /// serializes the check-then-wait against release's notify, which is
+    /// what makes the wakeup protocol lossless.
+    state: Mutex<WaitState>,
     available: Condvar,
+    /// Mirror of `state.queue.len()` readable without the lock, so an
+    /// uncontended release never touches the wait mutex.
+    waiting: AtomicUsize,
+}
+
+#[derive(Default)]
+struct WaitState {
+    next_ticket: u64,
+    queue: VecDeque<u64>,
+}
+
+struct ClassQueue {
+    free: FreeStack,
+    /// Free overflow indices of this class — the slow path; gated by
+    /// `has_overflow` so the fast path takes no lock while the binding has
+    /// never grown.
+    overflow_free: Mutex<Vec<usize>>,
+    has_overflow: AtomicBool,
+    waiters: WaitQueue,
+}
+
+impl ClassQueue {
+    fn new() -> ClassQueue {
+        ClassQueue {
+            free: FreeStack::new(),
+            overflow_free: Mutex::new(Vec::new()),
+            has_overflow: AtomicBool::new(false),
+            waiters: WaitQueue {
+                state: Mutex::new(WaitState::default()),
+                available: Condvar::new(),
+                waiting: AtomicUsize::new(0),
+            },
+        }
+    }
 }
 
 struct OverflowEntry {
     region: Arc<Region>,
     class: usize,
+    linkage: Arc<LinkageSlot>,
 }
 
 /// All A-stacks of one binding.
@@ -153,7 +282,11 @@ pub struct AStackSet {
     /// Procedure index → class index.
     proc_class: Vec<usize>,
     queues: Vec<ClassQueue>,
-    linkages: Mutex<Vec<Arc<LinkageSlot>>>,
+    /// Treiber-stack successor links, one per primary A-stack.
+    links: Vec<AtomicU64>,
+    /// Linkage slots of the primary A-stacks; index = A-stack index. Plain
+    /// vector — the set never grows it, so lookup is lock-free.
+    linkages: Vec<Arc<LinkageSlot>>,
     overflow: Mutex<Vec<OverflowEntry>>,
     primary_total: usize,
 }
@@ -225,6 +358,10 @@ impl AStackSet {
             offset += c.primary_count * c.size;
         }
         let primary_total = index;
+        assert!(
+            primary_total < u32::MAX as usize,
+            "primary A-stack indices must fit the packed Treiber head"
+        );
         let primary = kernel.map_pairwise(label, client, server, offset.max(1));
         if mapping == AStackMapping::GloballyShared {
             // The Firefly fallback: every existing domain gets the mapping.
@@ -234,17 +371,15 @@ impl AStackSet {
             }
         }
 
-        let queues = classes
-            .iter()
-            .map(|c| ClassQueue {
-                free: Mutex::new(
-                    (c.base_index..c.base_index + c.primary_count)
-                        .rev()
-                        .collect(),
-                ),
-                available: Condvar::new(),
-            })
-            .collect();
+        let links: Vec<AtomicU64> = (0..primary_total).map(|_| AtomicU64::new(EMPTY)).collect();
+        let queues: Vec<ClassQueue> = classes.iter().map(|_| ClassQueue::new()).collect();
+        // Seed each class's stack highest-index-first so the first acquire
+        // pops `base_index` — the order the old locked Vec produced.
+        for (ci, c) in classes.iter().enumerate() {
+            for i in (c.base_index..c.base_index + c.primary_count).rev() {
+                queues[ci].free.push(&links, i);
+            }
+        }
         let linkages = (0..primary_total)
             .map(|_| Arc::new(LinkageSlot::new()))
             .collect();
@@ -254,7 +389,8 @@ impl AStackSet {
             classes,
             proc_class,
             queues,
-            linkages: Mutex::new(linkages),
+            links,
+            linkages,
             overflow: Mutex::new(Vec::new()),
             primary_total,
         }
@@ -277,12 +413,40 @@ impl AStackSet {
 
     /// Total A-stacks (primary + overflow).
     pub fn total_count(&self) -> usize {
+        firefly::meter::note_sharded_lock();
         self.primary_total + self.overflow.lock().len()
     }
 
     /// Number of currently free A-stacks in a class.
     pub fn free_count(&self, class: usize) -> usize {
-        self.queues[class].free.lock().len()
+        let q = &self.queues[class];
+        let mut n = q.free.len();
+        if q.has_overflow.load(Ordering::SeqCst) {
+            firefly::meter::note_sharded_lock();
+            n += q.overflow_free.lock().len();
+        }
+        n
+    }
+
+    /// Number of clients currently blocked waiting for an A-stack of
+    /// `class` (diagnostic; the FIFO-fairness tests observe it).
+    pub fn waiters(&self, class: usize) -> usize {
+        self.queues[class].waiters.waiting.load(Ordering::SeqCst)
+    }
+
+    /// Pops a free A-stack of `class` if one is available: the lock-free
+    /// primary stack first, then (only if the binding has grown) the
+    /// overflow side list.
+    fn try_pop(&self, class: usize) -> Option<usize> {
+        let q = &self.queues[class];
+        if let Some(idx) = q.free.pop(&self.links) {
+            return Some(idx);
+        }
+        if q.has_overflow.load(Ordering::SeqCst) {
+            firefly::meter::note_sharded_lock();
+            return q.overflow_free.lock().pop();
+        }
+        None
     }
 
     /// Acquires an A-stack of `class` under the given exhaustion policy.
@@ -297,27 +461,64 @@ impl AStackSet {
         client: &Domain,
         server: &Domain,
     ) -> Result<usize, CallError> {
-        let queue = &self.queues[class];
-        let mut free = queue.free.lock();
-        if let Some(idx) = free.pop() {
+        if let Some(idx) = self.try_pop(class) {
             return Ok(idx);
         }
         match policy {
             AStackPolicy::Fail => Err(CallError::NoAStacks),
-            AStackPolicy::Wait(timeout) => {
-                let deadline = std::time::Instant::now() + timeout;
-                loop {
-                    if let Some(idx) = free.pop() {
-                        return Ok(idx);
-                    }
-                    if queue.available.wait_until(&mut free, deadline).timed_out() {
-                        return free.pop().ok_or(CallError::NoAStacks);
-                    }
+            AStackPolicy::Wait(timeout) => self.wait_for_free(class, timeout),
+            AStackPolicy::Grow => Ok(self.grow(class, kernel, client, server)),
+        }
+    }
+
+    /// Blocks until an A-stack of `class` is released or `timeout`
+    /// expires. Waiters are served in FIFO order: each waiter takes a
+    /// ticket; only the front ticket polls the free stack, so a release
+    /// cannot be snatched by a later arrival while an earlier one sleeps.
+    ///
+    /// Lossless-wakeup argument: a releaser pushes the index *first*, then
+    /// reads the waiter count (both SeqCst). If it reads 0, every future
+    /// waiter registers after that read and therefore polls after the
+    /// push — the poll finds the index. If it reads > 0, the releaser
+    /// takes the wait mutex and notifies; a registered waiter either
+    /// already polled and is inside `wait` (the mutex hand-off makes the
+    /// notify reach it) or has not yet polled and will find the index.
+    fn wait_for_free(&self, class: usize, timeout: Duration) -> Result<usize, CallError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let q = &self.queues[class];
+        firefly::meter::note_sharded_lock();
+        let mut st = q.waiters.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        q.waiters.waiting.store(st.queue.len(), Ordering::SeqCst);
+        loop {
+            if st.queue.front() == Some(&ticket) {
+                if let Some(idx) = self.try_pop(class) {
+                    st.queue.pop_front();
+                    q.waiters.waiting.store(st.queue.len(), Ordering::SeqCst);
+                    // The next-in-line waiter may have an index waiting
+                    // for it already (multiple releases in a burst).
+                    q.waiters.available.notify_all();
+                    return Ok(idx);
                 }
             }
-            AStackPolicy::Grow => {
-                drop(free);
-                Ok(self.grow(class, kernel, client, server))
+            if q.waiters
+                .available
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                let got = if st.queue.front() == Some(&ticket) {
+                    self.try_pop(class)
+                } else {
+                    None
+                };
+                st.queue.retain(|t| *t != ticket);
+                q.waiters.waiting.store(st.queue.len(), Ordering::SeqCst);
+                if got.is_some() {
+                    q.waiters.available.notify_all();
+                }
+                return got.ok_or(CallError::NoAStacks);
             }
         }
     }
@@ -330,19 +531,53 @@ impl AStackSet {
     pub fn grow(&self, class: usize, kernel: &Kernel, client: &Domain, server: &Domain) -> usize {
         let size = self.classes[class].size.max(1);
         let region = kernel.map_pairwise("astack-overflow", client, server, size);
+        firefly::meter::note_sharded_lock();
         let mut overflow = self.overflow.lock();
         let index = self.primary_total + overflow.len();
-        overflow.push(OverflowEntry { region, class });
-        self.linkages.lock().push(Arc::new(LinkageSlot::new()));
+        overflow.push(OverflowEntry {
+            region,
+            class,
+            linkage: Arc::new(LinkageSlot::new()),
+        });
+        drop(overflow);
+        self.queues[class]
+            .has_overflow
+            .store(true, Ordering::SeqCst);
         index
     }
 
-    /// Releases an A-stack back to its class's LIFO queue.
+    /// The class owning `index`, without constructing an [`AStackRef`].
+    fn class_of_index(&self, index: usize) -> Option<usize> {
+        if index < self.primary_total {
+            self.classes
+                .iter()
+                .position(|c| index >= c.base_index && index < c.base_index + c.primary_count)
+        } else {
+            firefly::meter::note_sharded_lock();
+            self.overflow
+                .lock()
+                .get(index - self.primary_total)
+                .map(|e| e.class)
+        }
+    }
+
+    /// Releases an A-stack back to its class's LIFO queue, waking the
+    /// longest-blocked waiter if any.
     pub fn release(&self, index: usize) {
-        if let Some(r) = self.lookup(index) {
-            let queue = &self.queues[r.class];
-            queue.free.lock().push(index);
-            queue.available.notify_one();
+        let Some(class) = self.class_of_index(index) else {
+            return;
+        };
+        let q = &self.queues[class];
+        if index < self.primary_total {
+            q.free.push(&self.links, index);
+        } else {
+            firefly::meter::note_sharded_lock();
+            q.overflow_free.lock().push(index);
+        }
+        if q.waiters.waiting.load(Ordering::SeqCst) > 0 {
+            firefly::meter::note_sharded_lock();
+            let _st = q.waiters.state.lock();
+            q.waiters.available.notify_all();
         }
     }
 
@@ -366,6 +601,7 @@ impl AStackSet {
                 overflow: false,
             })
         } else {
+            firefly::meter::note_sharded_lock();
             let overflow = self.overflow.lock();
             let e = overflow.get(index - self.primary_total)?;
             Some(AStackRef {
@@ -393,9 +629,17 @@ impl AStackSet {
 
     /// The linkage slot paired with A-stack `index` — "the correct linkage
     /// record can be quickly located given any address in the corresponding
-    /// A-stack".
+    /// A-stack". Lock-free for primary A-stacks.
     pub fn linkage(&self, index: usize) -> Option<Arc<LinkageSlot>> {
-        self.linkages.lock().get(index).cloned()
+        if index < self.primary_total {
+            self.linkages.get(index).cloned()
+        } else {
+            firefly::meter::note_sharded_lock();
+            self.overflow
+                .lock()
+                .get(index - self.primary_total)
+                .map(|e| Arc::clone(&e.linkage))
+        }
     }
 
     /// The primary region (for tests asserting pairwise protection).
@@ -533,5 +777,65 @@ mod tests {
         assert!(c.ctx().check(region.id(), true, false).is_ok());
         assert!(s.ctx().check(region.id(), true, false).is_ok());
         assert!(third.ctx().check(region.id(), false, false).is_err());
+    }
+
+    #[test]
+    fn lockfree_stack_survives_concurrent_churn() {
+        let (k, c, s) = setup();
+        let set = Arc::new(set(&k, &c, &s, &[(16, 4)]));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let set = Arc::clone(&set);
+                let (k, c, s) = (Arc::clone(&k), Arc::clone(&c), Arc::clone(&s));
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        if let Ok(idx) = set.acquire(0, AStackPolicy::Fail, &k, &c, &s) {
+                            std::hint::spin_loop();
+                            set.release(idx);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(set.free_count(0), 4, "all A-stacks return to the queue");
+        // All four indices are still distinct and acquirable.
+        let mut got: Vec<usize> = (0..4)
+            .map(|_| set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn blocked_waiters_are_served_fifo() {
+        let (k, c, s) = setup();
+        let set = Arc::new(set(&k, &c, &s, &[(16, 1)]));
+        let held = set.acquire(0, AStackPolicy::Fail, &k, &c, &s).unwrap();
+        let n = 4;
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for i in 0..n {
+                let set = Arc::clone(&set);
+                let order = Arc::clone(&order);
+                let (k, c, s) = (Arc::clone(&k), Arc::clone(&c), Arc::clone(&s));
+                scope.spawn(move || {
+                    // Stagger arrivals so ticket order is deterministic.
+                    while set.waiters(0) != i {
+                        std::thread::yield_now();
+                    }
+                    let idx = set
+                        .acquire(0, AStackPolicy::Wait(Duration::from_secs(10)), &k, &c, &s)
+                        .unwrap();
+                    order.lock().push(i);
+                    set.release(idx);
+                });
+            }
+            // All four blocked, then a release chain serves them in order.
+            while set.waiters(0) != n {
+                std::thread::yield_now();
+            }
+            set.release(held);
+        });
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3], "FIFO service order");
     }
 }

@@ -248,6 +248,11 @@ pub struct BindingState {
     pub astacks: AStackSet,
     /// The binding's TLB working-set plan.
     pub touch: TouchPlan,
+    /// The server's E-stack pool, cached at import time so the call path
+    /// never consults the runtime's global pool map (Section 3.4: nothing
+    /// global on the critical path). Safe across termination: revocation
+    /// stops calls before the runtime drops its reference.
+    pub estack_pool: Arc<crate::estack::EStackPool>,
     /// Set when either domain terminates; "this prevents any more
     /// out-calls from the domain, and prevents other domains from making
     /// any more in-calls" (Section 5.3).
@@ -262,6 +267,9 @@ pub struct BindingState {
 
 impl BindingState {
     /// Creates binding state; used by [`LrpcRuntime::import`].
+    // One argument per cached field: the constructor mirrors the struct,
+    // and bundling them into a params struct would just move the list.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         interface: Arc<CompiledInterface>,
         client: Arc<Domain>,
@@ -269,6 +277,7 @@ impl BindingState {
         clerk: Arc<Clerk>,
         astacks: AStackSet,
         touch: TouchPlan,
+        estack_pool: Arc<crate::estack::EStackPool>,
         remote: bool,
     ) -> BindingState {
         BindingState {
@@ -278,6 +287,7 @@ impl BindingState {
             clerk,
             astacks,
             touch,
+            estack_pool,
             revoked: AtomicBool::new(false),
             remote,
             stats: BindingStats::default(),

@@ -472,7 +472,7 @@ pub(crate) fn lrpc_call(
     // association key is the A-stack's global identity (region + index),
     // so distinct bindings never collide.
     let astack_key = (aref.region.id().0 << 24) | astack_idx as u64;
-    let pool = rt.estack_pool(&state.server);
+    let pool = Arc::clone(&state.estack_pool);
     let (estack, fresh) = pool.get_for_call(rt.kernel(), astack_key);
     guard.pool = Some((Arc::clone(&pool), astack_key));
     if fresh {
@@ -700,7 +700,8 @@ pub(crate) fn lrpc_call(
         rt.kernel().machine().mem().free(region.id());
     }
 
-    // Requeue the A-stack (LIFO) under the per-queue lock.
+    // Requeue the A-stack (LIFO) — a lock-free push; the virtual-time
+    // charge still models the paper's queue-op cost.
     guard.disarm();
     client_state.astacks.release(astack_idx);
     charge_locked(

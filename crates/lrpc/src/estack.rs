@@ -48,6 +48,11 @@ struct PoolInner {
 }
 
 /// The E-stack pool of one server domain.
+///
+/// The pool lock is per-server (a shard of the machine-wide E-stack
+/// supply), reported to [`firefly::meter::note_sharded_lock`]; bindings
+/// cache an `Arc` to their server's pool so the call path never consults
+/// a global map to find it.
 pub struct EStackPool {
     server: Arc<Domain>,
     estack_size: usize,
@@ -95,6 +100,7 @@ impl EStackPool {
     /// association rules. Returns the E-stack and whether a fresh
     /// allocation was needed (the slow path).
     pub fn get_for_call(&self, kernel: &Kernel, astack_key: u64) -> (Arc<Region>, bool) {
+        firefly::meter::note_sharded_lock();
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -171,6 +177,7 @@ impl EStackPool {
     /// Marks the call on `astack_key` finished; the association is kept
     /// for reuse.
     pub fn end_call(&self, astack_key: u64) {
+        firefly::meter::note_sharded_lock();
         if let Some(a) = self.inner.lock().assoc.get_mut(&astack_key) {
             a.in_call = false;
         }
@@ -178,6 +185,7 @@ impl EStackPool {
 
     /// Current statistics.
     pub fn stats(&self) -> EStackStats {
+        firefly::meter::note_sharded_lock();
         let inner = self.inner.lock();
         EStackStats {
             allocated: inner.allocated,
@@ -193,6 +201,7 @@ impl EStackPool {
     /// after every fault schedule (no orphaned in-call association may
     /// survive a failed or aborted call).
     pub fn busy_count(&self) -> usize {
+        firefly::meter::note_sharded_lock();
         self.inner
             .lock()
             .assoc

@@ -16,7 +16,8 @@
 //!   once, from the client stub straight onto the shared A-stack.
 //! * **Simple stubs** — the `idl` crate's generated stub programs,
 //!   interpreted against A-stack frames.
-//! * **Design for concurrency** — per-A-stack-queue locks only, and the
+//! * **Design for concurrency** — lock-free per-class A-stack free lists
+//!   (no process-global lock anywhere on the call path), and the
 //!   idle-processor domain-caching optimization.
 //!
 //! # Examples

@@ -5,6 +5,7 @@
 //! optional conventional-RPC transport for remote bindings.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,7 +18,7 @@ use kernel::nameserver::NameServer;
 use kernel::objects::{HandleTable, RawHandle};
 use kernel::thread::Thread;
 use kernel::Domain;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::astack::{AStackMapping, AStackPolicy, AStackSet};
 use crate::binding::{Binding, BindingState, Clerk, Handler};
@@ -59,15 +60,26 @@ impl Default for RuntimeConfig {
 }
 
 /// The LRPC run-time library plus the kernel facilities it drives.
+///
+/// Everything a call touches per invocation is either sharded (the
+/// Binding Object table), cached on the binding at import time (the
+/// E-stack pool), or gated behind an atomic flag (the fault plan), so the
+/// Null-call fast path acquires zero process-global locks. The remaining
+/// runtime maps are read-mostly `RwLock`s (or import-time-only mutexes)
+/// and report every acquisition to [`firefly::meter::note_global_lock`].
 pub struct LrpcRuntime {
     kernel: Arc<Kernel>,
     config: RuntimeConfig,
     names: NameServer<Arc<Clerk>>,
     bindings: HandleTable<Arc<BindingState>>,
-    estacks: Mutex<HashMap<DomainId, Arc<EStackPool>>>,
-    remote: Mutex<Option<Arc<dyn RemoteTransport>>>,
+    estacks: RwLock<HashMap<DomainId, Arc<EStackPool>>>,
+    remote: RwLock<Option<Arc<dyn RemoteTransport>>>,
     proxy_domain: Mutex<Option<Arc<Domain>>>,
-    fault: Mutex<Option<Arc<FaultPlan>>>,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// True while a fault plan is installed. Lets `fault_plan()` — called
+    /// once per LRPC — be a single atomic load in the common no-chaos
+    /// case instead of a lock acquisition.
+    fault_installed: AtomicBool,
 }
 
 impl LrpcRuntime {
@@ -83,10 +95,11 @@ impl LrpcRuntime {
             config,
             names: NameServer::new(),
             bindings: HandleTable::new(),
-            estacks: Mutex::new(HashMap::new()),
-            remote: Mutex::new(None),
+            estacks: RwLock::new(HashMap::new()),
+            remote: RwLock::new(None),
             proxy_domain: Mutex::new(None),
-            fault: Mutex::new(None),
+            fault: RwLock::new(None),
+            fault_installed: AtomicBool::new(false),
         })
     }
 
@@ -169,6 +182,7 @@ impl LrpcRuntime {
             self.config.astack_mapping,
         );
         let touch = TouchPlan::allocate(&self.kernel, client, &server);
+        let estack_pool = self.estack_pool(&server);
         let state = Arc::new(BindingState::new(
             Arc::clone(clerk.interface()),
             Arc::clone(client),
@@ -176,6 +190,7 @@ impl LrpcRuntime {
             clerk,
             astacks,
             touch,
+            estack_pool,
             false,
         ));
         let handle = self.bindings.insert(Arc::clone(&state));
@@ -192,9 +207,7 @@ impl LrpcRuntime {
         name: &str,
     ) -> Result<Binding, CallError> {
         let transport = self
-            .remote
-            .lock()
-            .clone()
+            .remote_transport()
             .ok_or(CallError::NoRemoteTransport)?;
         if !transport.exports(name) {
             return Err(CallError::ImportTimeout {
@@ -236,6 +249,7 @@ impl LrpcRuntime {
             &per_proc,
         );
         let touch = TouchPlan::allocate(&self.kernel, client, &proxy);
+        let estack_pool = self.estack_pool(&proxy);
         let state = Arc::new(BindingState::new(
             interface,
             Arc::clone(client),
@@ -243,6 +257,7 @@ impl LrpcRuntime {
             clerk,
             astacks,
             touch,
+            estack_pool,
             true,
         ));
         let handle = self.bindings.insert(Arc::clone(&state));
@@ -251,27 +266,39 @@ impl LrpcRuntime {
 
     /// Installs the conventional-RPC transport used by remote bindings.
     pub fn set_remote_transport(&self, t: Arc<dyn RemoteTransport>) {
-        *self.remote.lock() = Some(t);
+        firefly::meter::note_global_lock();
+        *self.remote.write() = Some(t);
     }
 
     /// The configured remote transport, if any.
     pub fn remote_transport(&self) -> Option<Arc<dyn RemoteTransport>> {
-        self.remote.lock().clone()
+        firefly::meter::note_global_lock();
+        self.remote.read().clone()
     }
 
     /// Installs a fault-injection plan. The call path, the clerks and (if
     /// shared with the transport) the network consult it at their
     /// injection sites; `None` (the default) injects nothing.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
-        *self.fault.lock() = plan;
+        firefly::meter::note_global_lock();
+        *self.fault.write() = plan.clone();
+        self.fault_installed
+            .store(plan.is_some(), Ordering::Release);
     }
 
-    /// The installed fault plan, if any.
+    /// The installed fault plan, if any. While no plan is installed (the
+    /// normal case) this is one atomic load — the call fast path pays no
+    /// lock for the chaos machinery.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
-        self.fault.lock().clone()
+        if !self.fault_installed.load(Ordering::Acquire) {
+            return None;
+        }
+        firefly::meter::note_global_lock();
+        self.fault.read().clone()
     }
 
     fn proxy_domain(&self) -> Arc<Domain> {
+        firefly::meter::note_global_lock();
         let mut guard = self.proxy_domain.lock();
         if let Some(d) = guard.as_ref() {
             return Arc::clone(d);
@@ -310,8 +337,17 @@ impl LrpcRuntime {
     }
 
     /// The E-stack pool of a server domain.
+    ///
+    /// Bindings cache the pool at import time ([`BindingState::estack_pool`]),
+    /// so calls never come here — this map is consulted at bind and
+    /// termination time only.
     pub fn estack_pool(&self, server: &Arc<Domain>) -> Arc<EStackPool> {
-        let mut pools = self.estacks.lock();
+        firefly::meter::note_global_lock();
+        if let Some(pool) = self.estacks.read().get(&server.id()) {
+            return Arc::clone(pool);
+        }
+        firefly::meter::note_global_lock();
+        let mut pools = self.estacks.write();
         Arc::clone(pools.entry(server.id()).or_insert_with(|| {
             Arc::new(EStackPool::new(
                 Arc::clone(server),
@@ -334,7 +370,8 @@ impl LrpcRuntime {
         }
         self.names
             .unregister_matching(|c| c.domain().id() == domain.id());
-        self.estacks.lock().remove(&domain.id());
+        firefly::meter::note_global_lock();
+        self.estacks.write().remove(&domain.id());
         self.kernel.terminate_domain(domain)
     }
 

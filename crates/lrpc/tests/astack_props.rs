@@ -119,6 +119,54 @@ proptest! {
         }
     }
 
+    /// The lock-free free list under real parallelism: however threads
+    /// interleave acquire/release, no A-stack index is ever held by two
+    /// callers at once (the ABA-versioned CAS can neither duplicate nor
+    /// lose a node) and the pool is conserved when the dust settles.
+    #[test]
+    fn concurrent_acquire_release_never_double_allocates(
+        spec in per_proc(),
+        threads in 2usize..5,
+        rounds in 1usize..40,
+    ) {
+        let (k, c, s) = setup();
+        let set = Arc::new(AStackSet::allocate(&k, &c, &s, "p", &spec));
+        let n_classes = set.classes().len();
+        let initial: Vec<usize> = (0..n_classes).map(|cl| set.free_count(cl)).collect();
+        let in_flight = Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let set = Arc::clone(&set);
+                let in_flight = Arc::clone(&in_flight);
+                let (k, c, s) = (Arc::clone(&k), Arc::clone(&c), Arc::clone(&s));
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let class = (t + r) % n_classes;
+                        if let Ok(idx) = set.acquire(class, AStackPolicy::Fail, &k, &c, &s) {
+                            // `insert` returning false = double allocation.
+                            assert!(
+                                in_flight.lock().unwrap().insert(idx),
+                                "index {idx} handed to two holders at once"
+                            );
+                            std::thread::yield_now();
+                            in_flight.lock().unwrap().remove(&idx);
+                            set.release(idx);
+                        }
+                    }
+                });
+            }
+        });
+        for (cl, &expect) in initial.iter().enumerate() {
+            prop_assert_eq!(
+                set.free_count(cl),
+                expect,
+                "pool conserved for class {}",
+                cl
+            );
+        }
+        prop_assert!(in_flight.lock().unwrap().is_empty());
+    }
+
     #[test]
     fn grown_stacks_validate_on_the_slow_path(spec in per_proc(), grows in 1usize..5) {
         let (k, c, s) = setup();

@@ -152,11 +152,26 @@ impl Condvar {
         F: FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
     {
         // Temporarily move the guard out so std's by-value wait API can be
-        // used behind parking_lot's by-reference one. The dance is safe:
-        // `wait` always hands back a live guard for the same mutex.
+        // used behind parking_lot's by-reference one. Safe only because
+        // `wait` hands back a live guard for the same mutex AND cannot
+        // unwind: if it did, `guard` would still alias the moved-out
+        // guard and both would unlock on drop — undefined behavior. The
+        // closures passed below convert poisoning (std wait's only error)
+        // into a normal guard, so the remaining unwind sources are
+        // hypothetical; the bomb turns any such escape into an abort
+        // instead of UB.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                eprintln!("parking_lot shim: condvar wait unwound; aborting to avoid a duplicated mutex guard");
+                std::process::abort();
+            }
+        }
         unsafe {
             let taken = core::ptr::read(guard);
+            let bomb = AbortOnUnwind;
             let back = wait(taken);
+            core::mem::forget(bomb);
             core::ptr::write(guard, back);
         }
     }
@@ -267,6 +282,121 @@ mod tests {
         *lock.lock() = true;
         cv.notify_all();
         waiter.join().unwrap();
+    }
+
+    /// Hammer test for missed wakeups: a bounded semaphore built from
+    /// `Mutex` + `Condvar`, with producers and consumers racing on the same
+    /// condition variable. A single lost notify deadlocks the test (the
+    /// suite's timeout catches it); a spurious wakeup mishandled as a grant
+    /// would break the permit accounting assertion.
+    #[test]
+    fn condvar_semaphore_hammer() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const ITEMS_PER_PRODUCER: usize = 500;
+
+        let sem = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let consumed = Arc::new(Mutex::new(0usize));
+
+        let mut handles = Vec::new();
+        for _ in 0..PRODUCERS {
+            let sem = Arc::clone(&sem);
+            handles.push(std::thread::spawn(move || {
+                let (permits, cv) = &*sem;
+                for _ in 0..ITEMS_PER_PRODUCER {
+                    *permits.lock() += 1;
+                    // notify_one is the risky variant: with multiple
+                    // waiters a shim that dropped the notify between
+                    // unlock and sleep would strand a consumer forever.
+                    cv.notify_one();
+                }
+            }));
+        }
+        for _ in 0..CONSUMERS {
+            let sem = Arc::clone(&sem);
+            let consumed = Arc::clone(&consumed);
+            handles.push(std::thread::spawn(move || {
+                let per_consumer = PRODUCERS * ITEMS_PER_PRODUCER / CONSUMERS;
+                let (permits, cv) = &*sem;
+                for _ in 0..per_consumer {
+                    let mut p = permits.lock();
+                    while *p == 0 {
+                        cv.wait(&mut p);
+                    }
+                    *p -= 1;
+                    drop(p);
+                    *consumed.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*consumed.lock(), PRODUCERS * ITEMS_PER_PRODUCER);
+        assert_eq!(*sem.0.lock(), 0, "every permit produced was consumed");
+    }
+
+    /// Ping-pong between two threads through one condvar: each side waits
+    /// for the turn flag to flip to it, flips it back, and notifies. Any
+    /// missed wakeup stalls the exchange; any guard-duplication bug in
+    /// `requeue` would corrupt the turn counter.
+    #[test]
+    fn condvar_ping_pong_hammer() {
+        const ROUNDS: u64 = 2_000;
+        let state = Arc::new((Mutex::new(0u64), Condvar::new()));
+
+        let mut handles = Vec::new();
+        for side in 0..2u64 {
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                let (turn, cv) = &*state;
+                loop {
+                    let mut t = turn.lock();
+                    while *t < ROUNDS && *t % 2 != side {
+                        cv.wait(&mut t);
+                    }
+                    if *t >= ROUNDS {
+                        return;
+                    }
+                    *t += 1;
+                    cv.notify_all();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*state.0.lock(), ROUNDS);
+    }
+
+    /// Timed waits under contention must never report success without the
+    /// predicate holding, and must not lose real notifies delivered just
+    /// before the deadline.
+    #[test]
+    fn condvar_timed_wait_hammer() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let producer = std::thread::spawn(move || {
+            let (count, cv) = &*state2;
+            for _ in 0..200 {
+                *count.lock() += 1;
+                cv.notify_all();
+            }
+        });
+        let (count, cv) = &*state;
+        let mut seen = 0usize;
+        while seen < 200 {
+            let mut c = count.lock();
+            while *c == seen {
+                // Short timeout so the loop exercises both the notified
+                // and timed-out paths repeatedly.
+                let _ = cv.wait_for(&mut c, Duration::from_millis(1));
+            }
+            assert!(*c > seen, "wait returned without progress or timeout");
+            seen = *c;
+        }
+        producer.join().unwrap();
+        assert_eq!(*state.0.lock(), 200);
     }
 
     #[test]

@@ -363,6 +363,162 @@ fn estack_pool_reclaims_under_concurrent_pressure() {
 }
 
 #[test]
+fn cross_pair_churn_leaks_nothing() {
+    // N clients × M servers: every client binds to every server and four
+    // host threads churn calls across all pairs concurrently. The A-stack
+    // queues, linkage records and E-stack pools are per-pair/per-server,
+    // so the pairs must neither interfere nor leak: afterwards every free
+    // queue is full again, no linkage record is claimed, no E-stack is
+    // associated with an in-flight call, and no thread is captured.
+    const N_CLIENTS: usize = 4;
+    const N_SERVERS: usize = 3;
+    const CALLS: i32 = 120;
+
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let servers: Vec<_> = (0..N_SERVERS)
+        .map(|i| {
+            let server = rt.kernel().create_domain(format!("server-{i}"));
+            rt.export(
+                &server,
+                &format!("interface Svc{i} {{ [astacks = 6] procedure Echo(x: int32) -> int32; }}"),
+                vec![
+                    Box::new(|_: &ServerCtx, args: &[Value]| Ok(Reply::value(args[0].clone())))
+                        as Handler,
+                ],
+            )
+            .unwrap();
+            server
+        })
+        .collect();
+    let clients: Vec<_> = (0..N_CLIENTS)
+        .map(|i| rt.kernel().create_domain(format!("client-{i}")))
+        .collect();
+    // bindings[c][s]: client c's binding to server s.
+    let bindings: Vec<Vec<_>> = clients
+        .iter()
+        .map(|c| {
+            (0..N_SERVERS)
+                .map(|s| Arc::new(rt.import(c, &format!("Svc{s}")).unwrap()))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (cpu, (client, my_bindings)) in clients.iter().zip(&bindings).enumerate() {
+            let rt = Arc::clone(&rt);
+            scope.spawn(move || {
+                let thread = rt.kernel().spawn_thread(client);
+                for i in 0..CALLS {
+                    // Stride the server order per thread so pairs overlap
+                    // in every combination.
+                    let b = &my_bindings[(i as usize + cpu) % N_SERVERS];
+                    let out = b
+                        .call_indexed(cpu, &thread, 0, &[Value::Int32(i)])
+                        .expect("cross-pair call");
+                    assert_eq!(out.ret, Some(Value::Int32(i)));
+                }
+                assert_eq!(thread.call_depth(), 0);
+            });
+        }
+    });
+
+    for my_bindings in &bindings {
+        for binding in my_bindings {
+            let astacks = &binding.state().astacks;
+            assert_eq!(astacks.free_count(0), 6, "A-stack queue refilled");
+            assert_eq!(astacks.total_count(), 6, "no growth under Fail policy");
+            let mut i = 0;
+            while let Some(slot) = astacks.linkage(i) {
+                assert!(!slot.is_in_use(), "linkage record {i} left claimed");
+                i += 1;
+            }
+        }
+    }
+    for server in &servers {
+        assert_eq!(
+            rt.estack_pool(server).busy_count(),
+            0,
+            "no E-stack left associated with an in-flight call"
+        );
+    }
+    assert_eq!(rt.kernel().snapshot().threads_in_calls, 0);
+}
+
+#[test]
+fn blocked_callers_are_granted_astacks_in_arrival_order() {
+    // FIFO fairness of the wait queue behind the lock-free free list: with
+    // the single A-stack held, four waiters that block in a known order
+    // must be granted the stack in that same order — the lock-free pop is
+    // first-come-first-served through the ticket queue, so no waiter can
+    // barge past an earlier one.
+    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            astack_policy: AStackPolicy::Wait(Duration::from_secs(10)),
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("one-stack");
+    rt.export(
+        &server,
+        "interface F { [astacks = 1] procedure P(); }",
+        vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("c");
+    let binding = Arc::new(rt.import(&client, "F").unwrap());
+    let astacks = &binding.state().astacks;
+
+    // Hold the only A-stack so every caller must queue.
+    let held = astacks
+        .acquire(0, AStackPolicy::Fail, rt.kernel(), &client, &server)
+        .expect("take the only stack");
+
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for i in 0..4usize {
+            let order = Arc::clone(&order);
+            let binding = Arc::clone(&binding);
+            let (rt, client, server) = (Arc::clone(&rt), Arc::clone(&client), Arc::clone(&server));
+            s.spawn(move || {
+                let astacks = &binding.state().astacks;
+                // Enter the wait queue strictly after the previous waiter.
+                while astacks.waiters(0) != i {
+                    std::thread::yield_now();
+                }
+                let idx = astacks
+                    .acquire(
+                        0,
+                        AStackPolicy::Wait(Duration::from_secs(10)),
+                        rt.kernel(),
+                        &client,
+                        &server,
+                    )
+                    .expect("granted eventually");
+                order.lock().push(i);
+                astacks.release(idx);
+            });
+        }
+        // All four queued up, in order — now start the grant chain.
+        while binding.state().astacks.waiters(0) != 4 {
+            std::thread::yield_now();
+        }
+        binding.state().astacks.release(held);
+    });
+    assert_eq!(*order.lock(), vec![0, 1, 2, 3], "strict arrival order");
+    assert_eq!(binding.state().astacks.free_count(0), 1);
+}
+
+#[test]
 fn concurrent_remote_calls_through_the_internet() {
     use msgrpc::Internet;
     let client_machine = {

@@ -1,0 +1,108 @@
+//! The Null call path acquires zero process-global locks.
+//!
+//! Section 3.4: "LRPC minimizes the use of shared data structures on the
+//! critical domain transfer path." The runtime instruments every lock
+//! acquisition (`firefly::meter`): process-global locks (kernel domain and
+//! thread tables, the name server, the physical-memory region table, the
+//! runtime's binding-time maps) are counted separately from sharded or
+//! per-queue locks (handle-table shards, per-class A-stack wait queues,
+//! per-server E-stack pools). These tests pin down the steady-state
+//! contract: a warmed-up Null call crosses domains without touching a
+//! single global lock, on either the metered or the unmetered entry.
+
+use std::sync::Arc;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use firefly::meter::LockTally;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use lrpc::{Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+
+fn null_env(domain_caching: bool) -> (Arc<LrpcRuntime>, Arc<kernel::Domain>, lrpc::Binding) {
+    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching,
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("null-server");
+    rt.export(
+        &server,
+        "interface N { procedure Null(); }",
+        vec![Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("null-client");
+    let binding = rt.import(&client, "N").unwrap();
+    (rt, client, binding)
+}
+
+#[test]
+fn steady_state_null_call_takes_zero_global_locks() {
+    let (rt, client, binding) = null_env(false);
+    let thread = rt.kernel().spawn_thread(&client);
+    // Warm up: the first call may allocate an E-stack through the pool.
+    binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
+
+    let tally = LockTally::begin();
+    binding
+        .call_unmetered(0, &thread, 0, &[])
+        .expect("measured");
+    assert_eq!(
+        tally.global_delta(),
+        0,
+        "a steady-state Null call must not acquire any process-global lock"
+    );
+    assert!(
+        tally.sharded_delta() > 0,
+        "the call does use sharded locks (handle shard, E-stack pool)"
+    );
+}
+
+#[test]
+fn metered_null_call_takes_zero_global_locks_too() {
+    // Metering (per-phase virtual-time accounting) rides the same path
+    // and must not smuggle a global lock back in.
+    let (rt, client, binding) = null_env(false);
+    let thread = rt.kernel().spawn_thread(&client);
+    binding.call_indexed(0, &thread, 0, &[]).expect("warmup");
+
+    let tally = LockTally::begin();
+    binding.call_indexed(0, &thread, 0, &[]).expect("measured");
+    assert_eq!(tally.global_delta(), 0);
+}
+
+#[test]
+fn domain_caching_path_is_also_global_lock_free() {
+    // With domain caching on, the call may additionally probe (and claim)
+    // an idle processor; that probe is a single atomic exchange, not a
+    // lock.
+    let (rt, client, binding) = null_env(true);
+    let thread = rt.kernel().spawn_thread(&client);
+    let server_ctx = binding.state().server.ctx().id();
+    rt.kernel().machine().cpu(1).set_idle_in(Some(server_ctx));
+    binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
+
+    let tally = LockTally::begin();
+    binding
+        .call_unmetered(0, &thread, 0, &[])
+        .expect("measured");
+    assert_eq!(tally.global_delta(), 0);
+}
+
+#[test]
+fn binding_setup_does_take_global_locks() {
+    // Sanity check on the instrumentation itself: export/import are the
+    // *bind-time* slow path and hit the kernel tables and name server, so
+    // the counters must see them. A counter that never moves would make
+    // the zero assertions above vacuous.
+    let tally = LockTally::begin();
+    let (_rt, _client, _binding) = null_env(false);
+    assert!(
+        tally.global_delta() > 0,
+        "bind-time setup goes through the global tables"
+    );
+}
