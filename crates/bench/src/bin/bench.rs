@@ -5,24 +5,37 @@
 //! bench [--calls N] [--threads K]    run the sweep; append one entry to
 //!                                    BENCH_throughput.json and
 //!                                    BENCH_latency.json at the repo root
+//! bench --phases [--check]           flight-record a Null call and print
+//!                                    its Table-5 phase breakdown diffed
+//!                                    against the cost model; with
+//!                                    --check, exit non-zero if the total
+//!                                    drifts >1% or the recorder adds >5%
+//!                                    virtual time
 //! bench --validate FILE...           check that each file is a
 //!                                    well-formed BENCH trajectory
 //! ```
 //!
 //! Each run *appends* to the `trajectory` array of both files, so the
 //! repo accumulates a measured history keyed by git revision; CI
-//! validates the files on every push.
+//! validates the files on every push. Every entry also carries the
+//! flight-recorded phase breakdown of a serial Null call and the host
+//! wall-clock time of the whole sweep.
 
 use std::process::ExitCode;
 
 use bench::host_parallel;
 use bench::json::Json;
+use bench::phases;
 
 const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
 const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
 
 fn usage() -> ! {
-    eprintln!("usage: bench [--calls N] [--threads K]\n       bench --validate FILE...");
+    eprintln!(
+        "usage: bench [--calls N] [--threads K]\n       \
+         bench --phases [--check]\n       \
+         bench --validate FILE..."
+    );
     std::process::exit(2);
 }
 
@@ -91,9 +104,34 @@ fn push_entry(doc: &mut Json, entry: Json) {
     }
 }
 
+/// Runs the flight-recorder replay; with `check`, the exit code reflects
+/// the drift and overhead gates.
+fn run_phases(check: bool) -> ExitCode {
+    let t = phases::run_null_flight();
+    print!("{}", phases::render(&t));
+    if check && !t.passes() {
+        eprintln!(
+            "bench: phase check failed (drift {:.3}% > {:.0}% or overhead {:.3}% > {:.0}%)",
+            t.total_drift * 100.0,
+            phases::MAX_TOTAL_DRIFT * 100.0,
+            t.recorder_overhead * 100.0,
+            phases::MAX_RECORDER_OVERHEAD * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
+    let wall_start = std::time::Instant::now();
     let report = host_parallel::run_null_throughput(max_threads, calls_per_thread);
+    let host_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
     print!("{}", host_parallel::render(&report));
+
+    // One flight-recorded Null call per run: its Table-5 phase breakdown
+    // rides along in every trajectory entry.
+    let flight = phases::run_null_flight();
+    let phases_json = phases::to_json(&flight);
 
     let rev = git_rev();
     let throughput_points: Vec<Json> = report
@@ -147,6 +185,8 @@ fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
             ),
             ("points".into(), Json::Arr(points)),
             ("speedup_at_max".into(), Json::Num(report.speedup_at_max)),
+            ("host_wall_ms".into(), Json::Num(host_wall_ms)),
+            ("phases".into(), phases_json.clone()),
         ]);
         push_entry(&mut doc, entry);
         if let Err(e) = std::fs::write(&path, doc.pretty()) {
@@ -259,6 +299,15 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--phases" => {
+                let rest = &args[i + 1..];
+                let check = match rest {
+                    [] => false,
+                    [flag] if flag == "--check" => true,
+                    _ => usage(),
+                };
+                return run_phases(check);
+            }
             "--validate" => {
                 let rest = &args[i + 1..];
                 if rest.is_empty() {

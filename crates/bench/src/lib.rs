@@ -11,3 +11,4 @@ pub mod common;
 pub mod experiments;
 pub mod host_parallel;
 pub mod json;
+pub mod phases;

@@ -94,7 +94,7 @@ impl Cpu {
             return;
         }
         self.charge(cost.hw.context_switch);
-        meter.record(Phase::ContextSwitch, cost.hw.context_switch);
+        meter.record_span(Phase::ContextSwitch, cost.hw.context_switch, self.now());
         self.tlb.lock().on_context_switch();
         self.current_ctx.store(ctx.0, Ordering::Release);
     }
@@ -158,6 +158,11 @@ impl Cpu {
     /// Lifetime TLB miss count for this CPU.
     pub fn tlb_misses(&self) -> u64 {
         self.tlb.lock().misses()
+    }
+
+    /// Lifetime TLB hit count for this CPU.
+    pub fn tlb_hits(&self) -> u64 {
+        self.tlb.lock().hits()
     }
 
     /// Resets the CPU's TLB statistics.

@@ -7,102 +7,18 @@
 //! the Section 3.4 claim that A-stack queue operations are under 2 % of
 //! call time.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::time::Nanos;
 
-// ---------------------------------------------------------------------
-// Lock-acquisition accounting.
-// ---------------------------------------------------------------------
-//
-// Section 3.4's "design for concurrency" claim is structural: the only
-// things an LRPC may serialize on are per-binding A-stack queues and the
-// memory bus — never a process-global lock (that is the SRC RPC
-// anti-pattern that flattens Figure 2 at ~4,000 calls/s). The counters
-// below let tests *prove* the property on the real host-thread call path
-// instead of asserting it in prose.
-//
-// Taxonomy (who calls what):
-//
-// * `note_global_lock` — acquisitions of process-global locks: tables
-//   keyed by the whole machine/kernel/runtime (kernel domain and thread
-//   tables, the physical-memory region list, the name server, the
-//   runtime's E-stack map and fault/remote cells).
-// * `note_sharded_lock` — acquisitions of per-shard / per-queue / per-pool
-//   primitives that partition a logically global structure (handle-table
-//   shards, A-stack wait queues, per-server E-stack pools). These are the
-//   primitives the paper permits on the critical path.
-// * Per-object locks (one thread's TCB, one region's bytes, one domain's
-//   mapping table, one CPU's TLB) are not counted: they shard perfectly by
-//   construction and cannot globally serialize independent calls.
-//
-// Counters are thread-local on purpose: a call executes on one host
-// thread, so the fast-path assertion ("this Null call acquired zero
-// global locks") must not observe locks taken by unrelated concurrently
-// running tests or threads.
-
-thread_local! {
-    static GLOBAL_LOCK_ACQS: Cell<u64> = const { Cell::new(0) };
-    static SHARDED_LOCK_ACQS: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Records that the current thread acquired a process-global lock.
-#[inline]
-pub fn note_global_lock() {
-    GLOBAL_LOCK_ACQS.with(|c| c.set(c.get() + 1));
-}
-
-/// Records that the current thread acquired a per-shard / per-queue
-/// primitive partitioning a logically global structure.
-#[inline]
-pub fn note_sharded_lock() {
-    SHARDED_LOCK_ACQS.with(|c| c.set(c.get() + 1));
-}
-
-/// Process-global lock acquisitions performed by the current thread.
-pub fn global_locks_on_thread() -> u64 {
-    GLOBAL_LOCK_ACQS.with(Cell::get)
-}
-
-/// Sharded lock acquisitions performed by the current thread.
-pub fn sharded_locks_on_thread() -> u64 {
-    SHARDED_LOCK_ACQS.with(Cell::get)
-}
-
-/// A scoped tally of lock acquisitions on the current thread.
-///
-/// ```
-/// use firefly::meter::LockTally;
-/// let tally = LockTally::begin();
-/// // ... run the code under scrutiny on this thread ...
-/// assert_eq!(tally.global_delta(), 0, "fast path must stay lock-free");
-/// ```
-#[derive(Clone, Copy, Debug)]
-pub struct LockTally {
-    global_start: u64,
-    sharded_start: u64,
-}
-
-impl LockTally {
-    /// Starts a tally at the current thread's counters.
-    pub fn begin() -> LockTally {
-        LockTally {
-            global_start: global_locks_on_thread(),
-            sharded_start: sharded_locks_on_thread(),
-        }
-    }
-
-    /// Process-global lock acquisitions since `begin` on this thread.
-    pub fn global_delta(&self) -> u64 {
-        global_locks_on_thread() - self.global_start
-    }
-
-    /// Sharded lock acquisitions since `begin` on this thread.
-    pub fn sharded_delta(&self) -> u64 {
-        sharded_locks_on_thread() - self.sharded_start
-    }
-}
+// Lock-acquisition accounting lives in the `obs` crate (it is shared by
+// layers below and above the simulator); re-export it here so existing
+// `firefly::meter::note_global_lock()` call sites keep working. See
+// `obs::tally` for the global/sharded taxonomy.
+pub use obs::tally::{
+    global_locks_on_thread, note_global_lock, note_sharded_lock, sharded_locks_on_thread,
+};
+pub use obs::{LockScope, LockTally, TraceId};
 
 /// The phase of a call a charged cost belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -149,6 +65,44 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in stable declaration order (code order).
+    pub const ALL: [Phase; 19] = [
+        Phase::ProcedureCall,
+        Phase::ClientStub,
+        Phase::Trap,
+        Phase::KernelTransfer,
+        Phase::ContextSwitch,
+        Phase::ProcessorExchange,
+        Phase::ServerStub,
+        Phase::ServerProcedure,
+        Phase::ArgCopy,
+        Phase::QueueOp,
+        Phase::Marshal,
+        Phase::BufferManagement,
+        Phase::MessageTransfer,
+        Phase::Dispatch,
+        Phase::Scheduling,
+        Phase::Validation,
+        Phase::Network,
+        Phase::Wait,
+        Phase::Other,
+    ];
+
+    /// Stable numeric code used in flight-recorder spans (the `obs` crate
+    /// stores phases as raw `u16`s; this is the mapping).
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Inverse of [`Phase::code`]. Unknown codes decode as [`Phase::Other`]
+    /// so a flight recorded by a newer build still renders.
+    pub fn from_code(code: u16) -> Phase {
+        Phase::ALL
+            .get(code as usize)
+            .copied()
+            .unwrap_or(Phase::Other)
+    }
+
     /// Short human-readable label.
     pub fn label(self) -> &'static str {
         match self {
@@ -188,13 +142,21 @@ pub struct Segment {
 
 /// A recorder of charged time.
 ///
-/// A disabled meter (the default for throughput loops) skips all recording;
-/// charging the CPU clock is independent of the meter.
+/// A disabled meter (the default for throughput loops) skips all segment
+/// recording; charging the CPU clock is independent of the meter.
+///
+/// Orthogonally to the segment list, a meter stamped with a [`TraceId`]
+/// mirrors every `record_*span` call into the process flight recorder
+/// ([`obs::flight`]) when that recorder is enabled — including on
+/// *disabled* meters, so throughput loops can be flight-recorded without
+/// paying for per-call segment vectors. When the recorder is off the
+/// extra cost is one atomic load per record.
 #[derive(Debug, Default)]
 pub struct Meter {
     enabled: bool,
     segments: Vec<Segment>,
     tlb_misses: u64,
+    trace: TraceId,
 }
 
 impl Meter {
@@ -202,8 +164,7 @@ impl Meter {
     pub fn enabled() -> Meter {
         Meter {
             enabled: true,
-            segments: Vec::new(),
-            tlb_misses: 0,
+            ..Meter::default()
         }
     }
 
@@ -217,6 +178,18 @@ impl Meter {
         self.enabled
     }
 
+    /// Stamps the call identity under which spans are emitted to the
+    /// flight recorder. A meter with the default [`TraceId::NONE`] never
+    /// emits flight spans.
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+
+    /// The call identity this meter is stamped with.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
     /// Records a charged span.
     pub fn record(&mut self, phase: Phase, dur: Nanos) {
         self.record_locked(phase, dur, None);
@@ -226,6 +199,31 @@ impl Meter {
     pub fn record_locked(&mut self, phase: Phase, dur: Nanos, lock: Option<&'static str>) {
         if self.enabled && !dur.is_zero() {
             self.segments.push(Segment { phase, dur, lock });
+        }
+    }
+
+    /// Records a charged span and mirrors it into the flight recorder.
+    ///
+    /// `now` is the virtual time *after* the charge (i.e. the span's end
+    /// instant, typically `cpu.now()` right after `cpu.charge(dur)`); the
+    /// span's start is reconstructed as `now - dur`. Recording charges no
+    /// virtual time itself.
+    pub fn record_span(&mut self, phase: Phase, dur: Nanos, now: Nanos) {
+        self.record_locked_span(phase, dur, None, now);
+    }
+
+    /// [`Meter::record_span`] with lock attribution.
+    pub fn record_locked_span(
+        &mut self,
+        phase: Phase,
+        dur: Nanos,
+        lock: Option<&'static str>,
+        now: Nanos,
+    ) {
+        self.record_locked(phase, dur, lock);
+        if self.trace.is_some() && !dur.is_zero() && obs::flight::is_enabled() {
+            let start = now.saturating_sub(dur);
+            obs::flight::record(self.trace, phase.code(), start.as_nanos(), dur.as_nanos());
         }
     }
 
@@ -341,6 +339,55 @@ mod tests {
         let mut m = Meter::enabled();
         m.record(Phase::Other, Nanos::ZERO);
         assert!(m.segments().is_empty());
+    }
+
+    #[test]
+    fn phase_codes_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_code(p.code()), p);
+        }
+        assert_eq!(Phase::from_code(999), Phase::Other);
+    }
+
+    /// Serializes tests that toggle the process-wide flight recorder so a
+    /// concurrent `disable()` can't swallow another test's spans.
+    static FLIGHT_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn traced_meter_mirrors_spans_into_flight_recorder() {
+        let _serial = FLIGHT_TOGGLE.lock().unwrap();
+        // Private thread: the thread-local ring belongs to this test alone.
+        std::thread::spawn(|| {
+            obs::flight::enable();
+            let trace = TraceId::next();
+            let mut m = Meter::disabled();
+            m.set_trace(trace);
+            m.record_span(Phase::Trap, Nanos::from_micros(18), Nanos::from_micros(20));
+            obs::flight::disable();
+            assert!(m.segments().is_empty(), "disabled meter keeps no segments");
+            let spans = obs::flight::spans_for(trace);
+            assert_eq!(spans.len(), 1, "flight capture is independent of enable");
+            assert_eq!(spans[0].phase, Phase::Trap.code());
+            assert_eq!(spans[0].start_ns, 2_000, "start = now - dur");
+            assert_eq!(spans[0].dur_ns, 18_000);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn untraced_meter_stays_out_of_flight_recorder() {
+        let _serial = FLIGHT_TOGGLE.lock().unwrap();
+        std::thread::spawn(|| {
+            obs::flight::enable();
+            let mut m = Meter::enabled();
+            m.record_span(Phase::Trap, Nanos::from_micros(18), Nanos::from_micros(18));
+            obs::flight::disable();
+            assert_eq!(m.total_for(Phase::Trap), Nanos::from_micros(18));
+            assert!(obs::flight::spans_for(TraceId::NONE).is_empty());
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl<'a> StubVm<'a> {
             Phase::Marshal
         };
         self.cpu.charge(cost);
-        self.meter.record(phase, cost);
+        self.meter.record_span(phase, cost, self.cpu.now());
     }
 
     fn write_oob_descriptor(

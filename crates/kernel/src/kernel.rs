@@ -145,7 +145,7 @@ impl Kernel {
     pub fn trap(&self, cpu: &Cpu, meter: &mut Meter) {
         let cost = self.machine.cost().hw.kernel_trap;
         cpu.charge(cost);
-        meter.record(Phase::Trap, cost);
+        meter.record_span(Phase::Trap, cost, cpu.now());
     }
 
     /// Runs the domain-termination collector (Section 5.3).

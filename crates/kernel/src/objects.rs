@@ -165,6 +165,20 @@ impl<T> HandleTable<T> {
         revoked
     }
 
+    /// Visits every live object (diagnostics sweep — metrics samplers use
+    /// it). Like [`HandleTable::revoke_matching`], it walks the shards in
+    /// turn, never holding two shard locks at once; only a read lock is
+    /// taken per shard.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for shard in &self.shards {
+            firefly::meter::note_sharded_lock();
+            let shard = shard.read();
+            for (_, (_, v)) in shard.iter() {
+                f(v);
+            }
+        }
+    }
+
     /// Number of live objects.
     pub fn len(&self) -> usize {
         self.shards

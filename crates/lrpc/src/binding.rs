@@ -8,7 +8,7 @@
 //! the kernel returns to the client a Binding Object" (Section 3.1).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use firefly::time::Nanos;
 use idl::stubgen::{CompiledInterface, ProcedureDescriptor};
@@ -194,6 +194,11 @@ pub struct BindingStats {
     failures: AtomicU64,
     exchanges: AtomicU64,
     remote_calls: AtomicU64,
+    /// Per-call latency histogram, attached at import time when the
+    /// binding is registered with the runtime's metrics registry. Bindings
+    /// constructed outside a runtime simply never observe. `OnceLock::get`
+    /// is a single atomic load, so observing stays lock-free.
+    latency: OnceLock<obs::Histogram>,
 }
 
 impl BindingStats {
@@ -231,6 +236,23 @@ impl BindingStats {
 
     pub(crate) fn note_remote(&self) {
         self.remote_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attaches the latency histogram this binding reports into. First
+    /// attachment wins; later calls are ignored.
+    pub fn attach_latency(&self, histogram: obs::Histogram) {
+        let _ = self.latency.set(histogram);
+    }
+
+    /// The attached latency histogram, if any.
+    pub fn latency(&self) -> Option<&obs::Histogram> {
+        self.latency.get()
+    }
+
+    pub(crate) fn observe_latency(&self, elapsed: Nanos) {
+        if let Some(h) = self.latency.get() {
+            h.observe(elapsed.as_nanos());
+        }
     }
 }
 

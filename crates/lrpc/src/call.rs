@@ -26,7 +26,7 @@ use std::sync::Arc;
 use firefly::cpu::Cpu;
 use firefly::error::MemFault;
 use firefly::mem::{PageId, Region};
-use firefly::meter::{Meter, Phase};
+use firefly::meter::{Meter, Phase, TraceId};
 use firefly::time::Nanos;
 use firefly::vm::VmContext;
 use idl::copyops::{CopyLog, CopyOp};
@@ -78,6 +78,10 @@ pub struct CallOutcome {
     /// The CPU the thread ended on (differs from the start CPU after an
     /// odd number of exchanges).
     pub end_cpu: usize,
+    /// The call's identity in the flight recorder: every span this call
+    /// emitted carries this id, so `obs::flight::spans_for(outcome.trace)`
+    /// isolates exactly this call's phases.
+    pub trace: TraceId,
 }
 
 /// A stub-VM frame backed by a slice of a (pairwise-shared) A-stack
@@ -155,12 +159,12 @@ impl Frame for AStackFrame<'_> {
 
 fn charge(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos) {
     cpu.charge(amount);
-    meter.record(phase, amount);
+    meter.record_span(phase, amount, cpu.now());
 }
 
 fn charge_locked(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos, lock: &'static str) {
     cpu.charge(amount);
-    meter.record_locked(phase, amount, Some(lock));
+    meter.record_locked_span(phase, amount, Some(lock), cpu.now());
 }
 
 fn touch_set(cpu: &Cpu, pages: Vec<PageId>, meter: &mut Meter) {
@@ -222,6 +226,11 @@ pub(crate) fn lrpc_call(
     } else {
         Meter::disabled()
     };
+    // Every call — metered or not — carries a TraceId, so the flight
+    // recorder (when enabled) captures phase spans even from throughput
+    // loops that skip per-call segment metering. One relaxed fetch_add.
+    let trace = TraceId::next();
+    meter.set_trace(trace);
     let mut copies = CopyLog::new();
     let mut cpu = machine.cpu(cpu_start);
     let start = cpu.now();
@@ -247,16 +256,19 @@ pub(crate) fn lrpc_call(
             cpu,
             &mut meter,
         )?;
+        let elapsed = cpu.now() - start;
         client_state.stats.note_call();
+        client_state.stats.observe_latency(elapsed);
         return Ok(CallOutcome {
             ret,
             outs,
-            elapsed: cpu.now() - start,
+            elapsed,
             meter,
             copies,
             exchanged_on_call: false,
             exchanged_on_return: false,
             end_cpu: cpu.id(),
+            trace,
         });
     }
 
@@ -712,7 +724,9 @@ pub(crate) fn lrpc_call(
         ASTACK_QUEUE_LOCK,
     );
 
+    let elapsed = cpu.now() - start;
     client_state.stats.note_call();
+    client_state.stats.observe_latency(elapsed);
     client_state
         .stats
         .note_exchanges(u64::from(exchanged_on_call) + u64::from(exchanged_on_return));
@@ -720,11 +734,12 @@ pub(crate) fn lrpc_call(
     Ok(CallOutcome {
         ret,
         outs,
-        elapsed: cpu.now() - start,
+        elapsed,
         meter,
         copies,
         exchanged_on_call,
         exchanged_on_return,
         end_cpu: cpu.id(),
+        trace,
     })
 }

@@ -58,6 +58,11 @@ pub struct EStackPool {
     estack_size: usize,
     max_estacks: usize,
     inner: Mutex<PoolInner>,
+    /// Mirrors the number of in-call associations as a metrics gauge.
+    /// Maintained on the in_call flips inside the pool lock, so it always
+    /// agrees with [`EStackPool::busy_count`] once calls quiesce. The
+    /// runtime adopts it into its registry when the pool is created.
+    busy: obs::Gauge,
 }
 
 /// Usage statistics (for the lazy-vs-static ablation).
@@ -92,7 +97,14 @@ impl EStackPool {
                 allocations: 0,
                 reclamations: 0,
             }),
+            busy: obs::Gauge::new(),
         }
+    }
+
+    /// The live "E-stacks in a call right now" gauge (a cheap clone of it
+    /// can be registered in a metrics registry).
+    pub fn busy_gauge(&self) -> &obs::Gauge {
+        &self.busy
     }
 
     /// Finds the E-stack for a call arriving on the A-stack identified by
@@ -108,6 +120,9 @@ impl EStackPool {
         // Fast path: the association from a previous call still holds.
         if let Some(a) = inner.assoc.get_mut(&astack_key) {
             a.last_used = tick;
+            if !a.in_call {
+                self.busy.inc();
+            }
             a.in_call = true;
             let estack = Arc::clone(&a.estack);
             inner.lazy_hits += 1;
@@ -116,6 +131,7 @@ impl EStackPool {
 
         // An unassociated E-stack lying around?
         if let Some(estack) = inner.free.pop() {
+            self.busy.inc();
             inner.assoc.insert(
                 astack_key,
                 Assoc {
@@ -139,6 +155,7 @@ impl EStackPool {
             if let Some(victim) = victim {
                 let a = inner.assoc.remove(&victim).expect("victim exists");
                 inner.reclamations += 1;
+                self.busy.inc();
                 inner.assoc.insert(
                     astack_key,
                     Assoc {
@@ -163,6 +180,7 @@ impl EStackPool {
         inner.allocated += 1;
         inner.peak_allocated = inner.peak_allocated.max(inner.allocated);
         inner.allocations += 1;
+        self.busy.inc();
         inner.assoc.insert(
             astack_key,
             Assoc {
@@ -179,6 +197,9 @@ impl EStackPool {
     pub fn end_call(&self, astack_key: u64) {
         firefly::meter::note_sharded_lock();
         if let Some(a) = self.inner.lock().assoc.get_mut(&astack_key) {
+            if a.in_call {
+                self.busy.dec();
+            }
             a.in_call = false;
         }
     }
@@ -283,6 +304,22 @@ mod tests {
         assert!(fresh);
         assert_ne!(e0.id(), e1.id());
         assert_eq!(pool.stats().allocated, 2);
+    }
+
+    #[test]
+    fn busy_gauge_tracks_in_call_associations() {
+        let (k, pool) = setup(4);
+        assert_eq!(pool.busy_gauge().get(), 0);
+        pool.get_for_call(&k, 0);
+        pool.get_for_call(&k, 1);
+        assert_eq!(pool.busy_gauge().get(), 2);
+        assert_eq!(pool.busy_gauge().get() as usize, pool.busy_count());
+        pool.end_call(0);
+        pool.end_call(0); // double end must not double-decrement
+        assert_eq!(pool.busy_gauge().get(), 1);
+        pool.end_call(1);
+        assert_eq!(pool.busy_gauge().get(), 0);
+        assert_eq!(pool.busy_count(), 0);
     }
 
     #[test]

@@ -138,6 +138,10 @@ enum Inner {
 pub struct CircuitBreaker {
     config: BreakerConfig,
     inner: Mutex<Inner>,
+    /// Mirrors the state as a gauge (0 = closed, 1 = open, 2 = half-open),
+    /// updated at every transition while the inner lock is held so
+    /// exported snapshots never show a state the breaker was not in.
+    state_gauge: obs::Gauge,
 }
 
 impl CircuitBreaker {
@@ -146,6 +150,7 @@ impl CircuitBreaker {
         CircuitBreaker {
             config,
             inner: Mutex::new(Inner::Closed { failures: 0 }),
+            state_gauge: obs::Gauge::new(),
         }
     }
 
@@ -155,6 +160,20 @@ impl CircuitBreaker {
             Inner::Closed { .. } => BreakerState::Closed,
             Inner::Open { .. } => BreakerState::Open,
             Inner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// The live state gauge (0 = closed, 1 = open, 2 = half-open); a
+    /// clone can be adopted into a metrics registry.
+    pub fn state_gauge(&self) -> &obs::Gauge {
+        &self.state_gauge
+    }
+
+    fn gauge_value(inner: &Inner) -> i64 {
+        match inner {
+            Inner::Closed { .. } => 0,
+            Inner::Open { .. } => 1,
+            Inner::HalfOpen => 2,
         }
     }
 
@@ -172,6 +191,7 @@ impl CircuitBreaker {
                     Err(CallError::CircuitOpen)
                 } else {
                     *inner = Inner::HalfOpen;
+                    self.state_gauge.set(Self::gauge_value(&inner));
                     Ok(true)
                 }
             }
@@ -181,7 +201,9 @@ impl CircuitBreaker {
     /// Reports a successful call: closes the breaker and clears the
     /// failure count.
     pub fn on_success(&self) {
-        *self.inner.lock() = Inner::Closed { failures: 0 };
+        let mut inner = self.inner.lock();
+        *inner = Inner::Closed { failures: 0 };
+        self.state_gauge.set(Self::gauge_value(&inner));
     }
 
     /// Reports a binding-level failure; trips the breaker after
@@ -204,6 +226,7 @@ impl CircuitBreaker {
             }
             Inner::Open { .. } => {}
         }
+        self.state_gauge.set(Self::gauge_value(&inner));
     }
 
     /// True for failures that should count against the breaker: the
@@ -261,6 +284,9 @@ pub struct ResilientClient {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     degraded: AtomicBool,
     aborted_calls: Mutex<u64>,
+    /// Retries performed (registered with the runtime's metrics registry
+    /// as `lrpc_retries_total:<interface>`).
+    retries: obs::Counter,
 }
 
 impl ResilientClient {
@@ -273,19 +299,28 @@ impl ResilientClient {
     ) -> Result<ResilientClient, CallError> {
         let binding = Arc::new(rt.import(client_domain, interface)?);
         let thread = rt.kernel().spawn_thread(client_domain);
+        let breaker = CircuitBreaker::new(config.breaker);
+        rt.metrics().register_gauge(
+            &format!("lrpc_breaker_state:{interface}"),
+            breaker.state_gauge().clone(),
+        );
+        let retries = rt
+            .metrics()
+            .counter(&format!("lrpc_retries_total:{interface}"));
         Ok(ResilientClient {
             rt: Arc::clone(rt),
             client_domain: Arc::clone(client_domain),
             interface: interface.to_string(),
             binding: Mutex::new(binding),
             thread: Mutex::new(thread),
-            breaker: CircuitBreaker::new(config.breaker),
+            breaker,
             jitter: Mutex::new(config.jitter_seed ^ 0x5245_5452_594A_5431u64),
             config,
             errors: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             degraded: AtomicBool::new(false),
             aborted_calls: Mutex::new(0),
+            retries,
         })
     }
 
@@ -379,6 +414,7 @@ impl ResilientClient {
                     }
                     if attempt < budget && RetryPolicy::is_retryable(&e) {
                         attempt += 1;
+                        self.retries.inc();
                         // Backoff burns *virtual* time: determinism is
                         // preserved and the latency shows up on the same
                         // clock every other cost uses.

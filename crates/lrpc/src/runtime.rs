@@ -80,6 +80,11 @@ pub struct LrpcRuntime {
     /// once per LRPC — be a single atomic load in the common no-chaos
     /// case instead of a lock acquisition.
     fault_installed: AtomicBool,
+    /// The runtime's metrics registry. Per-runtime (not process-global) so
+    /// parallel tests each observe only their own runtime's activity.
+    /// Components register handles at bind time; the steady call path
+    /// updates them with lone atomic ops, never through the registry.
+    metrics: Arc<obs::Registry>,
 }
 
 impl LrpcRuntime {
@@ -100,12 +105,18 @@ impl LrpcRuntime {
             proxy_domain: Mutex::new(None),
             fault: RwLock::new(None),
             fault_installed: AtomicBool::new(false),
+            metrics: Arc::new(obs::Registry::new()),
         })
     }
 
     /// The kernel.
     pub fn kernel(&self) -> &Arc<Kernel> {
         &self.kernel
+    }
+
+    /// The runtime's metrics registry.
+    pub fn metrics(&self) -> &Arc<obs::Registry> {
+        &self.metrics
     }
 
     /// The configuration.
@@ -193,6 +204,10 @@ impl LrpcRuntime {
             estack_pool,
             false,
         ));
+        state.stats.attach_latency(
+            self.metrics
+                .histogram(&format!("lrpc_call_latency_ns:{name}")),
+        );
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -260,6 +275,10 @@ impl LrpcRuntime {
             estack_pool,
             true,
         ));
+        state.stats.attach_latency(
+            self.metrics
+                .histogram(&format!("lrpc_call_latency_ns:{name}")),
+        );
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -349,11 +368,18 @@ impl LrpcRuntime {
         firefly::meter::note_global_lock();
         let mut pools = self.estacks.write();
         Arc::clone(pools.entry(server.id()).or_insert_with(|| {
-            Arc::new(EStackPool::new(
+            let pool = Arc::new(EStackPool::new(
                 Arc::clone(server),
                 self.config.estack_size,
                 self.config.max_estacks,
-            ))
+            ));
+            // Adopt the pool's live busy gauge so exports see "E-stacks in
+            // a call right now" per server domain without a sweep.
+            self.metrics.register_gauge(
+                &format!("lrpc_estacks_busy:{}", server.name()),
+                pool.busy_gauge().clone(),
+            );
+            pool
         }))
     }
 
@@ -387,5 +413,71 @@ impl LrpcRuntime {
     /// Number of live bindings (diagnostics).
     pub fn binding_count(&self) -> usize {
         self.bindings.len()
+    }
+
+    /// Samples the runtime-wide observable state into the metrics registry
+    /// and returns the resulting snapshot.
+    ///
+    /// A slow-path sweep (every shard, every binding, every CPU): gauges
+    /// that components cannot cheaply maintain live — A-stack occupancy
+    /// and wait-queue depth, TLB hit/miss totals, per-domain idle-cache
+    /// counters, fault-plan event counts — are read here, point-in-time.
+    /// Live handles (E-stack busy gauges, per-binding latency histograms,
+    /// circuit-breaker state) are already registered and simply appear in
+    /// the snapshot.
+    pub fn collect_metrics(&self) -> obs::Snapshot {
+        // A-stacks across every live binding.
+        let mut astacks_total = 0usize;
+        let mut astacks_free = 0usize;
+        let mut astack_waiters = 0usize;
+        let mut calls = 0u64;
+        let mut failures = 0u64;
+        let mut remote_calls = 0u64;
+        self.bindings.for_each(|state| {
+            astacks_total += state.astacks.total_count();
+            for ci in 0..state.astacks.classes().len() {
+                astacks_free += state.astacks.free_count(ci);
+                astack_waiters += state.astacks.waiters(ci);
+            }
+            calls += state.stats.calls();
+            failures += state.stats.failures();
+            remote_calls += state.stats.remote_calls();
+        });
+        let m = &self.metrics;
+        m.gauge("lrpc_astacks_total").set(astacks_total as i64);
+        m.gauge("lrpc_astacks_free").set(astacks_free as i64);
+        m.gauge("lrpc_astack_waiters").set(astack_waiters as i64);
+        m.gauge("lrpc_bindings_live")
+            .set(self.bindings.len() as i64);
+        m.gauge("lrpc_calls_total").set(calls as i64);
+        m.gauge("lrpc_call_failures_total").set(failures as i64);
+        m.gauge("lrpc_remote_calls_total").set(remote_calls as i64);
+
+        // TLB totals across the machine's CPUs.
+        let machine = self.kernel.machine();
+        let (mut tlb_hits, mut tlb_misses) = (0u64, 0u64);
+        for cpu in machine.cpus() {
+            tlb_hits += cpu.tlb_hits();
+            tlb_misses += cpu.tlb_misses();
+        }
+        m.gauge("firefly_tlb_hits").set(tlb_hits as i64);
+        m.gauge("firefly_tlb_misses").set(tlb_misses as i64);
+
+        // The Section 3.4 domain-caching counters, summed over live
+        // domains.
+        let (mut idle_hits, mut idle_misses) = (0u64, 0u64);
+        for d in self.kernel.domains() {
+            idle_hits += d.idle_hits();
+            idle_misses += d.idle_misses();
+        }
+        m.gauge("lrpc_domain_cache_hits").set(idle_hits as i64);
+        m.gauge("lrpc_domain_cache_misses").set(idle_misses as i64);
+
+        // Chaos plane: injected fault events so far, if a plan is live.
+        if let Some(plan) = self.fault_plan() {
+            m.gauge("fault_events_total").set(plan.event_count() as i64);
+        }
+
+        m.snapshot()
     }
 }

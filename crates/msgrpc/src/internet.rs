@@ -137,7 +137,7 @@ impl RemoteTransport for Internet {
         let req_packets = packets_for(request.len());
         let req_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * req_packets;
         cpu.charge(req_cost);
-        meter.record(Phase::Network, req_cost);
+        meter.record_span(Phase::Network, req_cost, cpu.now());
         let plan = self.fault.lock().clone();
         apply_packet_faults(plan.as_ref(), "internet:req", req_packets, cpu, meter)?;
 
@@ -149,14 +149,14 @@ impl RemoteTransport for Internet {
         let out = binding.call_indexed(0, &host.net_thread, proc_index, args)?;
         let remote_time = remote_cpu.now() - before;
         cpu.charge(remote_time);
-        meter.record(Phase::Network, remote_time);
+        meter.record_span(Phase::Network, remote_time, cpu.now());
 
         // Reply packets.
         let reply = marshal::marshal_reply(proc, out.ret.as_ref(), &out.outs)?;
         let reply_packets = packets_for(reply.len());
         let reply_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * reply_packets;
         cpu.charge(reply_cost);
-        meter.record(Phase::Network, reply_cost);
+        meter.record_span(Phase::Network, reply_cost, cpu.now());
         apply_packet_faults(plan.as_ref(), "internet:reply", reply_packets, cpu, meter)?;
 
         Ok((out.ret, out.outs))

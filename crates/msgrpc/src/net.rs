@@ -120,7 +120,7 @@ pub fn apply_packet_faults(
         }
         if !extra.is_zero() {
             cpu.charge(extra);
-            meter.record(Phase::Network, extra);
+            meter.record_span(Phase::Network, extra, cpu.now());
         }
         if fate.lost_forever {
             return Err(CallError::Network(format!(
@@ -162,7 +162,7 @@ impl RemoteTransport for RemoteMachine {
 
         // Conventional stubs marshal the arguments.
         cpu.charge(NETWORK_STUBS);
-        meter.record(Phase::Marshal, NETWORK_STUBS);
+        meter.record_span(Phase::Marshal, NETWORK_STUBS, cpu.now());
         let payload = marshal::marshal_args(proc, args)?;
 
         // Request packets: packetize, wire, receive.
@@ -170,7 +170,7 @@ impl RemoteTransport for RemoteMachine {
         let req_cost =
             (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * req_packets + REMOTE_DISPATCH;
         cpu.charge(req_cost);
-        meter.record(Phase::Network, req_cost);
+        meter.record_span(Phase::Network, req_cost, cpu.now());
         let plan = self.fault.lock().clone();
         apply_packet_faults(
             plan.as_ref(),
@@ -190,7 +190,7 @@ impl RemoteTransport for RemoteMachine {
         let reply_packets = packets_for(reply_payload.len());
         let reply_cost = (PACKET_PROCESSING * 2 + WIRE_TIME_PER_PACKET) * reply_packets;
         cpu.charge(reply_cost);
-        meter.record(Phase::Network, reply_cost);
+        meter.record_span(Phase::Network, reply_cost, cpu.now());
         apply_packet_faults(
             plan.as_ref(),
             &format!("net:{}:reply", self.name),

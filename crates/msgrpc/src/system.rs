@@ -193,6 +193,9 @@ impl MsgRpcSystem {
         } else {
             Meter::disabled()
         };
+        // Every message RPC is a flight-recordable unit too: stamp a fresh
+        // trace id so its spans can be isolated in the recorder.
+        meter.set_trace(firefly::meter::TraceId::next());
         let mut copies = CopyLog::new();
         let start = cpu.now();
 
@@ -494,7 +497,7 @@ impl MsgRpcSystem {
 
 fn charge(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos) {
     cpu.charge(amount);
-    meter.record(phase, amount);
+    meter.record_span(phase, amount, cpu.now());
 }
 
 fn charge_maybe_locked(
@@ -505,7 +508,7 @@ fn charge_maybe_locked(
     lock: Option<&'static str>,
 ) {
     cpu.charge(amount);
-    meter.record_locked(phase, amount, lock);
+    meter.record_locked_span(phase, amount, lock, cpu.now());
 }
 
 /// `pct` percent of `total`.

@@ -1,0 +1,187 @@
+//! Snapshot encoders: JSON and Prometheus-style text exposition.
+//!
+//! Hand-rolled on purpose — the workspace builds offline with no serde —
+//! and deliberately boring: stable key order (registries are BTreeMaps,
+//! spans arrive start-sorted) so exported artifacts diff cleanly across
+//! runs.
+
+use crate::flight::SpanRecord;
+use crate::metrics::{MetricValue, Snapshot};
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes a metrics snapshot as a JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"buckets":[[le,n],..]}}}`.
+pub fn metrics_to_json(snapshot: &Snapshot) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for m in &snapshot.metrics {
+        let name = json_escape(&m.name);
+        match &m.value {
+            MetricValue::Counter(v) => counters.push(format!("\"{name}\":{v}")),
+            MetricValue::Gauge(v) => gauges.push(format!("\"{name}\":{v}")),
+            MetricValue::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|&(le, n)| format!("[{le},{n}]"))
+                    .collect();
+                histograms.push(format!(
+                    "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    h.count,
+                    h.sum,
+                    buckets.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(",")
+    )
+}
+
+/// Maps an arbitrary metric name onto the Prometheus identifier alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); everything else becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out
+        .chars()
+        .next()
+        .is_none_or(|c| c.is_ascii_digit() || !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+    {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Encodes a metrics snapshot in the Prometheus text exposition format.
+/// Histograms emit cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`, matching the standard scrape shape.
+pub fn metrics_to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for m in &snapshot.metrics {
+        let name = prometheus_name(&m.name);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for &(le, n) in &h.buckets {
+                    cumulative += n;
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// Encodes recorded spans as a JSON array. `phase_name` supplies the
+/// human label for each phase code (obs itself does not know what the
+/// codes mean — the simulator layer that emitted them does).
+pub fn spans_to_json(spans: &[SpanRecord], phase_name: &dyn Fn(u16) -> String) -> String {
+    let rows: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"trace\":{},\"phase\":\"{}\",\"code\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                s.trace.raw(),
+                json_escape(&phase_name(s.phase)),
+                s.phase,
+                s.start_ns,
+                s.dur_ns
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::TraceId;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("calls_total").add(3);
+        reg.gauge("estack/busy").set(-1);
+        let h = reg.histogram("latency_ns");
+        h.observe(0);
+        h.observe(5);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = metrics_to_json(&sample());
+        assert_eq!(
+            json,
+            "{\"counters\":{\"calls_total\":3},\
+             \"gauges\":{\"estack/busy\":-1},\
+             \"histograms\":{\"latency_ns\":{\"count\":2,\"sum\":5,\"buckets\":[[0,1],[7,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let text = metrics_to_prometheus(&sample());
+        assert!(text.contains("# TYPE estack_busy gauge\nestack_busy -1\n"));
+        assert!(text.contains("latency_ns_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("latency_ns_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("latency_ns_sum 5\n"));
+        assert!(text.contains("latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn spans_round_trip_labels() {
+        let spans = [SpanRecord {
+            trace: TraceId::from_raw(9),
+            phase: 2,
+            start_ns: 100,
+            dur_ns: 50,
+        }];
+        let json = spans_to_json(&spans, &|code| format!("phase-{code}"));
+        assert_eq!(
+            json,
+            "[{\"trace\":9,\"phase\":\"phase-2\",\"code\":2,\"start_ns\":100,\"dur_ns\":50}]"
+        );
+    }
+}

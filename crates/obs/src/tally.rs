@@ -1,0 +1,190 @@
+//! Lock-acquisition accounting.
+//!
+//! Section 3.4's "design for concurrency" claim is structural: the only
+//! things an LRPC may serialize on are per-binding A-stack queues and the
+//! memory bus — never a process-global lock (that is the SRC RPC
+//! anti-pattern that flattens Figure 2 at ~4,000 calls/s). The counters
+//! here let tests *prove* the property on the real host-thread call path
+//! instead of asserting it in prose.
+//!
+//! Taxonomy (who calls what):
+//!
+//! * [`note_global_lock`] — acquisitions of process-global locks: tables
+//!   keyed by the whole machine/kernel/runtime (kernel domain and thread
+//!   tables, the physical-memory region list, the name server, the
+//!   runtime's metric registry and fault/remote cells, the flight
+//!   recorder's ring registry).
+//! * [`note_sharded_lock`] — acquisitions of per-shard / per-queue /
+//!   per-pool primitives that partition a logically global structure
+//!   (handle-table shards, A-stack wait queues, per-server E-stack
+//!   pools). These are the primitives the paper permits on the critical
+//!   path.
+//! * Per-object locks (one thread's TCB, one region's bytes, one domain's
+//!   mapping table, one CPU's TLB) are not counted: they shard perfectly
+//!   by construction and cannot globally serialize independent calls.
+//!
+//! Counters are thread-local on purpose: a call executes on one host
+//! thread, so the fast-path assertion ("this Null call acquired zero
+//! global locks") must not observe locks taken by unrelated concurrently
+//! running tests or threads. Because they are thread-local and
+//! monotonically growing, consecutive tests on the same test-harness
+//! thread would bleed counts into each other; [`LockTally::scope`] hands
+//! out an RAII guard that zeroes the counters for its extent and restores
+//! them on drop, so hammer tests observe only their own acquisitions.
+
+use std::cell::Cell;
+
+thread_local! {
+    static GLOBAL_LOCK_ACQS: Cell<u64> = const { Cell::new(0) };
+    static SHARDED_LOCK_ACQS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records that the current thread acquired a process-global lock.
+#[inline]
+pub fn note_global_lock() {
+    GLOBAL_LOCK_ACQS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records that the current thread acquired a per-shard / per-queue
+/// primitive partitioning a logically global structure.
+#[inline]
+pub fn note_sharded_lock() {
+    SHARDED_LOCK_ACQS.with(|c| c.set(c.get() + 1));
+}
+
+/// Process-global lock acquisitions performed by the current thread.
+pub fn global_locks_on_thread() -> u64 {
+    GLOBAL_LOCK_ACQS.with(Cell::get)
+}
+
+/// Sharded lock acquisitions performed by the current thread.
+pub fn sharded_locks_on_thread() -> u64 {
+    SHARDED_LOCK_ACQS.with(Cell::get)
+}
+
+/// A scoped tally of lock acquisitions on the current thread.
+///
+/// ```
+/// use obs::tally::LockTally;
+/// let tally = LockTally::begin();
+/// // ... run the code under scrutiny on this thread ...
+/// assert_eq!(tally.global_delta(), 0, "fast path must stay lock-free");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LockTally {
+    global_start: u64,
+    sharded_start: u64,
+}
+
+impl LockTally {
+    /// Starts a tally at the current thread's counters.
+    pub fn begin() -> LockTally {
+        LockTally {
+            global_start: global_locks_on_thread(),
+            sharded_start: sharded_locks_on_thread(),
+        }
+    }
+
+    /// Starts an isolated, self-resetting tally: the thread's counters are
+    /// zeroed for the guard's lifetime and restored on drop, so nothing
+    /// observed inside the scope leaks into a later test on the same
+    /// thread (and nothing from before the scope is counted by it).
+    pub fn scope() -> LockScope {
+        let saved_global = GLOBAL_LOCK_ACQS.with(|c| c.replace(0));
+        let saved_sharded = SHARDED_LOCK_ACQS.with(|c| c.replace(0));
+        LockScope {
+            saved_global,
+            saved_sharded,
+        }
+    }
+
+    /// Process-global lock acquisitions since `begin` on this thread.
+    pub fn global_delta(&self) -> u64 {
+        global_locks_on_thread() - self.global_start
+    }
+
+    /// Sharded lock acquisitions since `begin` on this thread.
+    pub fn sharded_delta(&self) -> u64 {
+        sharded_locks_on_thread() - self.sharded_start
+    }
+}
+
+/// RAII guard from [`LockTally::scope`]: an isolated lock tally whose
+/// counters start at zero and whose effects vanish when it drops.
+#[derive(Debug)]
+pub struct LockScope {
+    saved_global: u64,
+    saved_sharded: u64,
+}
+
+impl LockScope {
+    /// Process-global lock acquisitions on this thread since the scope
+    /// began.
+    pub fn global(&self) -> u64 {
+        global_locks_on_thread()
+    }
+
+    /// Sharded lock acquisitions on this thread since the scope began.
+    pub fn sharded(&self) -> u64 {
+        sharded_locks_on_thread()
+    }
+}
+
+impl Drop for LockScope {
+    fn drop(&mut self) {
+        // Restore the pre-scope counts exactly: acquisitions observed
+        // inside the scope are discarded, acquisitions from before it are
+        // reinstated, so `LockTally::begin()` tallies spanning the scope
+        // stay consistent.
+        GLOBAL_LOCK_ACQS.with(|c| c.set(self.saved_global));
+        SHARDED_LOCK_ACQS.with(|c| c.set(self.saved_sharded));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_deltas() {
+        let t = LockTally::begin();
+        note_global_lock();
+        note_sharded_lock();
+        note_sharded_lock();
+        assert_eq!(t.global_delta(), 1);
+        assert_eq!(t.sharded_delta(), 2);
+    }
+
+    #[test]
+    fn scope_isolates_and_restores() {
+        note_global_lock();
+        let before = global_locks_on_thread();
+        {
+            let scope = LockTally::scope();
+            assert_eq!(scope.global(), 0, "scope starts from zero");
+            note_global_lock();
+            note_global_lock();
+            note_sharded_lock();
+            assert_eq!(scope.global(), 2);
+            assert_eq!(scope.sharded(), 1);
+        }
+        assert_eq!(
+            global_locks_on_thread(),
+            before,
+            "drop restores the pre-scope counts"
+        );
+    }
+
+    #[test]
+    fn nested_scopes_unwind_in_order() {
+        let outer = LockTally::scope();
+        note_global_lock();
+        {
+            let inner = LockTally::scope();
+            note_global_lock();
+            note_global_lock();
+            assert_eq!(inner.global(), 2);
+        }
+        assert_eq!(outer.global(), 1, "inner scope's counts were discarded");
+    }
+}

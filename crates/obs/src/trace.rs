@@ -1,0 +1,81 @@
+//! Per-call trace identifiers.
+//!
+//! Every LRPC (and every message-based RPC) is stamped with a [`TraceId`]
+//! at the moment the client stub is entered. The id travels with the
+//! call's [`Meter`](../firefly/meter) and is written into every span the
+//! flight recorder captures, so a flight snapshot can be filtered down to
+//! exactly one call even when many threads (or many parallel tests in the
+//! same process) are recording at once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide id allocator. Starts at 1 so that 0 can mean "no trace".
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+/// Identity of one in-flight call.
+///
+/// Ids are allocated from a process-wide atomic counter — a single
+/// `fetch_add` per call, no locks — and are never reused within a
+/// process. `TraceId::NONE` (the zero id) marks unmetered work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The null trace: work not attributed to any call.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Allocates a fresh, process-unique id.
+    #[inline]
+    pub fn next() -> TraceId {
+        TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Rebuilds an id from its raw representation (e.g. read back out of
+    /// a recorded span).
+    #[inline]
+    pub fn from_raw(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw numeric id, as stored in span records.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True for every id except [`TraceId::NONE`].
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_some() {
+            write!(f, "trace-{}", self.0)
+        } else {
+            f.write_str("trace-none")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert_ne!(a, b);
+        assert!(a.is_some() && b.is_some());
+        assert!(!TraceId::NONE.is_some());
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let id = TraceId::next();
+        assert_eq!(TraceId::from_raw(id.raw()), id);
+    }
+}

@@ -110,11 +110,21 @@ fn assert_no_leaks(rt: &Arc<LrpcRuntime>, server: &Arc<Domain>, binding: &Bindin
         assert!(!slot.is_in_use(), "linkage record {i} left claimed");
         i += 1;
     }
+    let pool = rt.estack_pool(server);
     assert_eq!(
-        rt.estack_pool(server).busy_count(),
+        pool.busy_count(),
         0,
         "no E-stack may stay associated with an in-progress call"
     );
+    // The exported metrics gauge is maintained incrementally on the call
+    // path; if it ever disagrees with the pool's own count, the leak
+    // detector the dashboard sees is lying.
+    assert_eq!(
+        pool.busy_gauge().get(),
+        pool.busy_count() as i64,
+        "the lrpc_estacks_busy gauge must track the pool exactly"
+    );
+    assert_eq!(pool.busy_gauge().get(), 0, "gauge reports an E-stack leak");
     assert_eq!(
         rt.kernel().snapshot().threads_in_calls,
         0,

@@ -4,20 +4,31 @@
 //! critical domain transfer path." The runtime instruments every lock
 //! acquisition (`firefly::meter`): process-global locks (kernel domain and
 //! thread tables, the name server, the physical-memory region table, the
-//! runtime's binding-time maps) are counted separately from sharded or
-//! per-queue locks (handle-table shards, per-class A-stack wait queues,
-//! per-server E-stack pools). These tests pin down the steady-state
-//! contract: a warmed-up Null call crosses domains without touching a
-//! single global lock, on either the metered or the unmetered entry.
+//! runtime's binding-time maps, the flight-recorder ring registry) are
+//! counted separately from sharded or per-queue locks (handle-table
+//! shards, per-class A-stack wait queues, per-server E-stack pools).
+//! These tests pin down the steady-state contract: a warmed-up Null call
+//! crosses domains without touching a single global lock — on the metered
+//! entry, on the unmetered entry, and with the flight recorder capturing
+//! every phase.
+//!
+//! Tallies use [`LockTally::scope`], the RAII guard that isolates this
+//! thread's counters for the scope's lifetime and restores them on drop,
+//! so parallel tests cannot bleed acquisitions into each other.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use bench::phases;
 use firefly::cost::CostModel;
 use firefly::cpu::Machine;
 use firefly::meter::LockTally;
 use idl::wire::Value;
 use kernel::kernel::Kernel;
 use lrpc::{Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+
+/// Serializes the tests that toggle the process-global flight recorder
+/// (within this test binary; other binaries are separate processes).
+static FLIGHT_TOGGLE: Mutex<()> = Mutex::new(());
 
 fn null_env(domain_caching: bool) -> (Arc<LrpcRuntime>, Arc<kernel::Domain>, lrpc::Binding) {
     let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
@@ -47,17 +58,17 @@ fn steady_state_null_call_takes_zero_global_locks() {
     // Warm up: the first call may allocate an E-stack through the pool.
     binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
 
-    let tally = LockTally::begin();
+    let scope = LockTally::scope();
     binding
         .call_unmetered(0, &thread, 0, &[])
         .expect("measured");
     assert_eq!(
-        tally.global_delta(),
+        scope.global(),
         0,
         "a steady-state Null call must not acquire any process-global lock"
     );
     assert!(
-        tally.sharded_delta() > 0,
+        scope.sharded() > 0,
         "the call does use sharded locks (handle shard, E-stack pool)"
     );
 }
@@ -70,9 +81,74 @@ fn metered_null_call_takes_zero_global_locks_too() {
     let thread = rt.kernel().spawn_thread(&client);
     binding.call_indexed(0, &thread, 0, &[]).expect("warmup");
 
-    let tally = LockTally::begin();
+    let scope = LockTally::scope();
     binding.call_indexed(0, &thread, 0, &[]).expect("measured");
-    assert_eq!(tally.global_delta(), 0);
+    assert_eq!(scope.global(), 0);
+}
+
+#[test]
+fn recorder_enabled_null_call_takes_zero_global_locks() {
+    // The flight recorder's only lock is the ring *registry*, taken once
+    // per thread when its ring is created. The warmup call (recorder
+    // already on) pays that registration, so the measured call writes
+    // spans through the thread-local seqlock ring alone.
+    let _serial = FLIGHT_TOGGLE.lock().unwrap();
+    let (rt, client, binding) = null_env(false);
+    let thread = rt.kernel().spawn_thread(&client);
+
+    obs::flight::enable();
+    binding.call_indexed(0, &thread, 0, &[]).expect("warmup");
+
+    let scope = LockTally::scope();
+    let out = binding.call_indexed(0, &thread, 0, &[]).expect("measured");
+    let globals = scope.global();
+    drop(scope);
+    obs::flight::disable();
+
+    assert_eq!(
+        globals, 0,
+        "recording a call's phases must not add a process-global lock"
+    );
+    assert!(
+        !obs::flight::spans_for(out.trace).is_empty(),
+        "the measured call really was recorded (zero locks is not vacuous)"
+    );
+}
+
+#[test]
+fn flight_breakdown_reproduces_table5_within_one_percent() {
+    // Acceptance gate: rebuild Table 5 purely from the spans a recorded
+    // Null call left in the flight rings, and check the total against the
+    // cost model's closed-form prediction. The simulator charges exact
+    // virtual costs, so the drift is zero — well inside the 1% gate.
+    let _serial = FLIGHT_TOGGLE.lock().unwrap();
+    let (rt, client, binding) = null_env(false);
+    let thread = rt.kernel().spawn_thread(&client);
+    binding.call_indexed(0, &thread, 0, &[]).expect("warmup");
+
+    obs::flight::enable();
+    let out = binding.call_indexed(0, &thread, 0, &[]).expect("recorded");
+    let spans = obs::flight::spans_for(out.trace);
+    obs::flight::disable();
+
+    let cost = CostModel::cvax_firefly();
+    let breakdown = phases::aggregate(&spans);
+    let rows = phases::table5_from_breakdown(&breakdown, &cost);
+    let measured: f64 = rows.iter().map(|r| r.measured.as_nanos() as f64).sum();
+    let predicted = cost.lrpc_null_serial().as_nanos() as f64;
+    let drift = (measured - predicted).abs() / predicted;
+    assert!(
+        drift <= phases::MAX_TOTAL_DRIFT,
+        "flight-reconstructed Table 5 total {measured}ns drifts {:.3}% from \
+         the cost model's {predicted}ns (gate {:.0}%)",
+        drift * 100.0,
+        phases::MAX_TOTAL_DRIFT * 100.0
+    );
+    // The breakdown accounts for the whole call, not just most of it.
+    assert_eq!(
+        breakdown.total, out.elapsed,
+        "summed span durations must equal the call's elapsed virtual time"
+    );
 }
 
 #[test]
@@ -86,11 +162,11 @@ fn domain_caching_path_is_also_global_lock_free() {
     rt.kernel().machine().cpu(1).set_idle_in(Some(server_ctx));
     binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
 
-    let tally = LockTally::begin();
+    let scope = LockTally::scope();
     binding
         .call_unmetered(0, &thread, 0, &[])
         .expect("measured");
-    assert_eq!(tally.global_delta(), 0);
+    assert_eq!(scope.global(), 0);
 }
 
 #[test]
@@ -99,10 +175,10 @@ fn binding_setup_does_take_global_locks() {
     // *bind-time* slow path and hit the kernel tables and name server, so
     // the counters must see them. A counter that never moves would make
     // the zero assertions above vacuous.
-    let tally = LockTally::begin();
+    let scope = LockTally::scope();
     let (_rt, _client, _binding) = null_env(false);
     assert!(
-        tally.global_delta() > 0,
+        scope.global() > 0,
         "bind-time setup goes through the global tables"
     );
 }

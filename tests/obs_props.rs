@@ -1,0 +1,132 @@
+//! Property tests for the observability plane (`crates/obs`).
+//!
+//! Two invariants the rest of the repo leans on:
+//!
+//! 1. The flight recorder's seqlock protocol never yields a *torn* span —
+//!    a reader racing an interleaved writer either sees a span exactly as
+//!    one `push` wrote it, or skips the slot; it never stitches words from
+//!    two different writes together (`obs::flight` module docs point
+//!    here).
+//! 2. A histogram's per-bucket counts always sum to its observation
+//!    count, and every observation lands in the log2 bucket that
+//!    `bucket_index` names.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use obs::flight::{FlightRing, SpanRecord};
+use obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
+use obs::TraceId;
+use proptest::prelude::*;
+
+/// Builds the span `push` number `i` writes, with all four words derived
+/// from `i` so any cross-write mixture is detectable.
+fn correlated_span(i: u64) -> SpanRecord {
+    SpanRecord {
+        trace: TraceId::from_raw(i + 1), // raw 0 means "never written"
+        phase: (i % 997) as u16,
+        start_ns: i.wrapping_mul(3),
+        dur_ns: i ^ 0x5a5a,
+    }
+}
+
+/// A span is untorn iff its words are the correlated image of one index.
+fn assert_untorn(span: &SpanRecord) -> Result<(), TestCaseError> {
+    let i = span.trace.raw() - 1;
+    let expect = correlated_span(i);
+    prop_assert_eq!(span.phase, expect.phase, "phase word from another write");
+    prop_assert_eq!(span.start_ns, expect.start_ns, "start word torn");
+    prop_assert_eq!(span.dur_ns, expect.dur_ns, "duration word torn");
+    Ok(())
+}
+
+proptest! {
+    /// Interleaved recorder writes never tear a span: while one thread
+    /// pushes a stream of correlated spans into a (deliberately tiny,
+    /// constantly wrapping) ring, concurrent readers only ever observe
+    /// spans whose four words belong to a single write.
+    #[test]
+    fn interleaved_writes_never_tear_a_span(
+        capacity in 1usize..12,
+        writes in 64u64..512,
+        readers in 1usize..4,
+    ) {
+        let ring = Arc::new(FlightRing::new(capacity));
+        let done = Arc::new(AtomicBool::new(false));
+        let mut torn = Vec::new();
+        std::thread::scope(|s| {
+            let reader_handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let ring = Arc::clone(&ring);
+                    let done = Arc::clone(&done);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        while !done.load(Ordering::Relaxed) {
+                            seen.extend(ring.read_all());
+                        }
+                        seen.extend(ring.read_all());
+                        seen
+                    })
+                })
+                .collect();
+            for i in 0..writes {
+                ring.push(correlated_span(i));
+            }
+            done.store(true, Ordering::Relaxed);
+            for h in reader_handles {
+                for span in h.join().expect("reader panicked") {
+                    if let Err(e) = assert_untorn(&span) {
+                        torn.push(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = torn.into_iter().next() {
+            return Err(e);
+        }
+        // Quiesced ring: the last `capacity` writes are all readable.
+        let settled = ring.read_all();
+        prop_assert_eq!(settled.len(), capacity.min(writes as usize));
+        prop_assert_eq!(ring.pushed(), writes);
+    }
+
+    /// Histogram bucket counts sum to the observation count, the sum field
+    /// is the exact total, and each value is counted by the bucket whose
+    /// bounds contain it.
+    #[test]
+    fn histogram_buckets_sum_to_observation_count(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64,
+            "every observation is in exactly one bucket");
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+
+        // Recompute the expected bucket occupancy independently.
+        let mut expect = std::collections::BTreeMap::new();
+        for &v in &values {
+            *expect.entry(bucket_upper_bound(bucket_index(v))).or_insert(0u64) += 1;
+        }
+        let got: std::collections::BTreeMap<u64, u64> = snap.buckets.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `bucket_index` sends every value to a bucket whose bounds hold it:
+    /// value ≤ upper(bucket) and (for non-first buckets) value > upper of
+    /// the bucket below.
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(v <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+}
