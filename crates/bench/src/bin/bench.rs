@@ -26,14 +26,17 @@ use std::process::ExitCode;
 use bench::host_parallel;
 use bench::json::Json;
 use bench::phases;
+use bench::stubs;
 
 const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
 const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
+const STUBS_SCHEMA: &str = "lrpc-bench-stubs/v1";
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--calls N] [--threads K]\n       \
          bench --phases [--check]\n       \
+         bench --stubs [--check]\n       \
          bench --validate FILE..."
     );
     std::process::exit(2);
@@ -122,6 +125,53 @@ fn run_phases(check: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the interpreter-vs-compiled-plan stub comparison, appends the
+/// measurements to `BENCH_stubs.json`, and (with `check`) fails on any
+/// gate violation: <2x host speedup on `Null`/`BigIn`, a virtual-cost
+/// mismatch (asserted inside the run), or a §3.3 ratio off the paper's 4x.
+fn run_stubs(check: bool) -> ExitCode {
+    let report = stubs::run(stubs::DEFAULT_ITERS);
+    print!("{}", stubs::render(&report));
+
+    let classes: Vec<Json> = report
+        .classes
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(c.name.into())),
+                ("interpreted_ns".into(), Json::Num(c.interpreted_ns)),
+                ("compiled_ns".into(), Json::Num(c.compiled_ns)),
+                ("speedup".into(), Json::Num(c.speedup)),
+                ("virtual_ns".into(), Json::Num(c.virtual_ns as f64)),
+            ])
+        })
+        .collect();
+    let entry = Json::Obj(vec![
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("experiment".into(), Json::Str("stub-compilation".into())),
+        ("classes".into(), Json::Arr(classes)),
+        ("assembly_us".into(), Json::Num(report.assembly_us)),
+        ("modula2_us".into(), Json::Num(report.modula2_us)),
+        ("ratio".into(), Json::Num(report.ratio)),
+    ]);
+    let path = repo_root().join("BENCH_stubs.json");
+    let mut doc = load_or_init(&path, STUBS_SCHEMA, "stub-compilation");
+    push_entry(&mut doc, entry);
+    if let Err(e) = std::fs::write(&path, doc.pretty()) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if check && !report.passes() {
+        for p in report.gate_failures() {
+            eprintln!("bench: stub gate failed: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
     let wall_start = std::time::Instant::now();
     let report = host_parallel::run_null_throughput(max_threads, calls_per_thread);
@@ -202,7 +252,10 @@ fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
 fn validate_doc(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
     let schema = doc.get("schema").and_then(Json::as_str);
-    if !matches!(schema, Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA)) {
+    if !matches!(
+        schema,
+        Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA) | Some(STUBS_SCHEMA)
+    ) {
         problems.push(format!("unknown or missing schema {schema:?}"));
     }
     if doc.get("experiment").and_then(Json::as_str).is_none() {
@@ -220,6 +273,34 @@ fn validate_doc(doc: &Json) -> Vec<String> {
             if entry.get(key).and_then(Json::as_str).is_none() {
                 problems.push(format!("entry {i}: missing string `{key}`"));
             }
+        }
+        if schema == Some(STUBS_SCHEMA) {
+            for key in ["assembly_us", "modula2_us", "ratio"] {
+                if entry.get(key).and_then(Json::as_f64).is_none() {
+                    problems.push(format!("entry {i}: missing number `{key}`"));
+                }
+            }
+            let Some(classes) = entry.get("classes").and_then(Json::as_arr) else {
+                problems.push(format!("entry {i}: missing `classes` array"));
+                continue;
+            };
+            if classes.is_empty() {
+                problems.push(format!("entry {i}: empty `classes`"));
+            }
+            for (j, c) in classes.iter().enumerate() {
+                if c.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!("entry {i} class {j}: missing `name`"));
+                }
+                for key in ["interpreted_ns", "compiled_ns", "speedup"] {
+                    match c.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        _ => problems.push(format!(
+                            "entry {i} class {j}: missing or non-positive `{key}`"
+                        )),
+                    }
+                }
+            }
+            continue;
         }
         if entry.get("speedup_at_max").and_then(Json::as_f64).is_none() {
             problems.push(format!("entry {i}: missing number `speedup_at_max`"));
@@ -307,6 +388,15 @@ fn main() -> ExitCode {
                     _ => usage(),
                 };
                 return run_phases(check);
+            }
+            "--stubs" => {
+                let rest = &args[i + 1..];
+                let check = match rest {
+                    [] => false,
+                    [flag] if flag == "--check" => true,
+                    _ => usage(),
+                };
+                return run_stubs(check);
             }
             "--validate" => {
                 let rest = &args[i + 1..];

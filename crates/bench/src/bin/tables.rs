@@ -31,7 +31,14 @@ fn run_fmt(name: &str, csv: bool) -> Option<String> {
         "table4" => exp::render_table4(&exp::table4()),
         "table5" => exp::render_table5(&exp::table5()),
         "figure2" => exp::render_figure2(&exp::figure2()),
-        "stubs" => exp::render_stubs(&exp::stubs()),
+        // Three-way stub comparison: the section-3.3 virtual-time claim
+        // (assembly vs Modula2+ marshaling) plus the host-speed split of
+        // the assembly side into interpreter vs bind-time compiled plans.
+        "stubs" => format!(
+            "{}\n{}",
+            exp::render_stubs(&exp::stubs()),
+            bench::stubs::render(&bench::stubs::run(10_000))
+        ),
         "locking" => exp::render_locking(&exp::locking()),
         "registers" => exp::render_registers(&exp::registers()),
         "replay" => exp::render_replay(&exp::replay(2_000)),

@@ -12,3 +12,4 @@ pub mod experiments;
 pub mod host_parallel;
 pub mod json;
 pub mod phases;
+pub mod stubs;

@@ -16,6 +16,9 @@
 //!   stubs, and emits Procedure Descriptor Lists;
 //! * [`stubvm`] — interprets stub data operations against a frame,
 //!   charging calibrated costs (the marshaling path is 4× slower);
+//! * [`plan`] — the bind-time specializer: lowers stub programs into
+//!   fused, zero-allocation copy plans that charge identical virtual
+//!   costs, with interpreter fallback for complex/out-of-band paths;
 //! * [`wire`] — byte encodings with receiver-side conformance checks
 //!   folded into the copy (Section 3.5).
 
@@ -23,6 +26,7 @@ pub mod ast;
 pub mod copyops;
 pub mod layout;
 pub mod parse;
+pub mod plan;
 pub mod print;
 pub mod stubgen;
 pub mod stubvm;
@@ -33,6 +37,7 @@ pub use ast::{Dir, InterfaceDef, Param, ProcDef};
 pub use copyops::{CopyLog, CopyOp};
 pub use layout::{FrameLayout, Slot, SlotKind, ETHERNET_PACKET_SIZE};
 pub use parse::{parse, ParseError};
+pub use plan::{ArgVec, InterfacePlans, ProcPlan, ARGVEC_INLINE, SCRATCH_BYTES};
 pub use print::print_interface;
 pub use stubgen::{
     compile, CompiledInterface, CompiledProc, ProcedureDescriptor, StubLang, StubOp, StubProgram,

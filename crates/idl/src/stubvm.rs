@@ -87,8 +87,16 @@ impl From<MemFault> for StubError {
 pub trait Frame {
     /// Writes `data` at `offset` within the frame.
     fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), StubError>;
-    /// Reads `len` bytes at `offset`.
-    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError>;
+    /// Reads `out.len()` bytes at `offset` into `out` — the borrowed,
+    /// zero-allocation accessor compiled copy plans are built on.
+    fn read_into(&self, offset: usize, out: &mut [u8]) -> Result<(), StubError>;
+    /// Reads `len` bytes at `offset` into a fresh vector (allocating
+    /// convenience for the interpreter and for variable-size slots).
+    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError> {
+        let mut buf = vec![0; len];
+        self.read_into(offset, &mut buf)?;
+        Ok(buf)
+    }
 }
 
 /// A plain in-memory frame.
@@ -125,16 +133,17 @@ impl Frame for LocalFrame {
         Ok(())
     }
 
-    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError> {
+    fn read_into(&self, offset: usize, out: &mut [u8]) -> Result<(), StubError> {
         let end = offset
-            .checked_add(len)
+            .checked_add(out.len())
             .filter(|&e| e <= self.bytes.len())
             .ok_or(StubError::Frame(MemFault::OutOfRange {
                 region: firefly::mem::RegionId(0),
                 offset,
-                len,
+                len: out.len(),
             }))?;
-        Ok(self.bytes[offset..end].to_vec())
+        out.copy_from_slice(&self.bytes[offset..end]);
+        Ok(())
     }
 }
 
@@ -184,6 +193,29 @@ impl<'a> StubVm<'a> {
         self.meter.record_span(phase, cost, self.cpu.now());
     }
 
+    /// Charges a *fused* run of `ops` data operations moving `bytes` total
+    /// bytes as one span. By cost linearity this equals `ops` separate
+    /// [`charge_op`] calls to the nanosecond — `(per_arg_op * ops +
+    /// per_byte_copy * bytes) * mult` — which is what lets compiled copy
+    /// plans coalesce moves without perturbing Table 5.
+    pub fn charge_bulk(&mut self, lang: StubLang, ops: u64, bytes: u64) {
+        if ops == 0 && bytes == 0 {
+            return;
+        }
+        let mult = match lang {
+            StubLang::Assembly => 1,
+            StubLang::Modula2Plus => MODULA2_SLOWDOWN,
+        };
+        let cost = (self.cost.per_arg_op * ops + self.cost.per_byte_copy * bytes) * mult;
+        let phase = if lang == StubLang::Assembly {
+            Phase::ArgCopy
+        } else {
+            Phase::Marshal
+        };
+        self.cpu.charge(cost);
+        self.meter.record_span(phase, cost, self.cpu.now());
+    }
+
     fn write_oob_descriptor(
         &mut self,
         frame: &mut dyn Frame,
@@ -202,7 +234,8 @@ impl<'a> StubVm<'a> {
         frame: &dyn Frame,
         offset: usize,
     ) -> Result<(u32, u32), StubError> {
-        let d = frame.read(offset, 8)?;
+        let mut d = [0u8; 8];
+        frame.read_into(offset, &mut d)?;
         Ok((
             u32::from_le_bytes([d[0], d[1], d[2], d[3]]),
             u32::from_le_bytes([d[4], d[5], d[6], d[7]]),

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use firefly::time::Nanos;
+use idl::plan::InterfacePlans;
 use idl::stubgen::{CompiledInterface, ProcedureDescriptor};
 use idl::wire::Value;
 use kernel::objects::RawHandle;
@@ -199,6 +200,9 @@ pub struct BindingStats {
     /// constructed outside a runtime simply never observe. `OnceLock::get`
     /// is a single atomic load, so observing stays lock-free.
     latency: OnceLock<obs::Histogram>,
+    /// Per-call stub-phase (client stub + server stub + argument
+    /// copy/marshal) virtual time, attached the same way.
+    stub_ns: OnceLock<obs::Histogram>,
 }
 
 impl BindingStats {
@@ -254,6 +258,22 @@ impl BindingStats {
             h.observe(elapsed.as_nanos());
         }
     }
+
+    /// Attaches the stub-phase histogram. First attachment wins.
+    pub fn attach_stub_ns(&self, histogram: obs::Histogram) {
+        let _ = self.stub_ns.set(histogram);
+    }
+
+    /// The attached stub-phase histogram, if any.
+    pub fn stub_ns(&self) -> Option<&obs::Histogram> {
+        self.stub_ns.get()
+    }
+
+    pub(crate) fn observe_stub_ns(&self, stub: Nanos) {
+        if let Some(h) = self.stub_ns.get() {
+            h.observe(stub.as_nanos());
+        }
+    }
 }
 
 /// The kernel-side state of one binding.
@@ -270,6 +290,11 @@ pub struct BindingState {
     pub astacks: AStackSet,
     /// The binding's TLB working-set plan.
     pub touch: TouchPlan,
+    /// The compiled copy plans, one per procedure — the bind-time stub
+    /// specialization of Section 3.3. Produced by (and shared through) the
+    /// runtime's plan cache, so re-imports of the same interface reuse one
+    /// compilation.
+    pub plans: Arc<InterfacePlans>,
     /// The server's E-stack pool, cached at import time so the call path
     /// never consults the runtime's global pool map (Section 3.4: nothing
     /// global on the critical path). Safe across termination: revocation
@@ -299,6 +324,7 @@ impl BindingState {
         clerk: Arc<Clerk>,
         astacks: AStackSet,
         touch: TouchPlan,
+        plans: Arc<InterfacePlans>,
         estack_pool: Arc<crate::estack::EStackPool>,
         remote: bool,
     ) -> BindingState {
@@ -309,6 +335,7 @@ impl BindingState {
             clerk,
             astacks,
             touch,
+            plans,
             estack_pool,
             revoked: AtomicBool::new(false),
             remote,
@@ -370,6 +397,11 @@ impl Binding {
     /// The runtime this binding belongs to.
     pub fn runtime(&self) -> &Arc<LrpcRuntime> {
         &self.rt
+    }
+
+    /// The copy plans compiled for this interface at import time.
+    pub fn stub_plans(&self) -> &Arc<InterfacePlans> {
+        &self.state.plans
     }
 
     /// Resolves a procedure name to its identifier.

@@ -30,6 +30,7 @@ use firefly::meter::{Meter, Phase, TraceId};
 use firefly::time::Nanos;
 use firefly::vm::VmContext;
 use idl::copyops::{CopyLog, CopyOp};
+use idl::plan::ArgVec;
 use idl::stubvm::{needs_server_copy, Frame, OobStore, StubError, StubVm};
 use idl::wire::Value;
 use kernel::objects::RawHandle;
@@ -139,20 +140,20 @@ impl Frame for AStackFrame<'_> {
             .map_err(StubError::Frame)
     }
 
-    fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, StubError> {
-        if offset + len > self.len {
+    fn read_into(&self, offset: usize, out: &mut [u8]) -> Result<(), StubError> {
+        if offset + out.len() > self.len {
             return Err(StubError::Frame(MemFault::OutOfRange {
                 region: self.region.id(),
                 offset: self.base + offset,
-                len,
+                len: out.len(),
             }));
         }
         self.ctx
             .check(self.region.id(), false, false)
             .map_err(StubError::Frame)?;
-        self.touch(offset, len);
+        self.touch(offset, out.len());
         self.region
-            .read_vec(self.base + offset, len)
+            .read_raw(self.base + offset, out)
             .map_err(StubError::Frame)
     }
 }
@@ -167,7 +168,7 @@ fn charge_locked(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos, lock
     meter.record_locked_span(phase, amount, Some(lock), cpu.now());
 }
 
-fn touch_set(cpu: &Cpu, pages: Vec<PageId>, meter: &mut Meter) {
+fn touch_set(cpu: &Cpu, pages: impl IntoIterator<Item = PageId>, meter: &mut Meter) {
     cpu.touch_pages(pages, meter);
 }
 
@@ -277,6 +278,10 @@ pub(crate) fn lrpc_call(
         .procs
         .get(proc_index)
         .ok_or(CallError::BadProcedure { index: proc_index })?;
+    // The copy plan compiled for this procedure at import time: offsets,
+    // checks and cost totals all hoisted out of the call. A half that
+    // could not be specialized is `None` and runs the interpreter below.
+    let plan = &client_state.plans.procs[proc_index];
     let client_ctx = client_state.client.ctx();
     let server_ctx = client_state.server.ctx();
 
@@ -285,7 +290,11 @@ pub(crate) fn lrpc_call(
 
     // ---- Client stub, call half -------------------------------------
     charge(cpu, &mut meter, Phase::ClientStub, cost.client_stub_call);
-    touch_set(cpu, client_state.touch.client_call(), &mut meter);
+    touch_set(
+        cpu,
+        client_state.touch.client_call().iter().copied(),
+        &mut meter,
+    );
 
     let class = client_state.astacks.class_of_proc(proc_index);
     // Fault injection: drain the class's free list so this acquire faces
@@ -351,43 +360,31 @@ pub(crate) fn lrpc_call(
         .astacks
         .lookup(astack_idx)
         .ok_or(CallError::BadAStack)?;
-    let in_bytes: usize = proc
-        .layout
-        .params
-        .iter()
-        .zip(&proc.def.params)
-        .filter(|(_, p)| p.dir.is_in())
-        .map(|(s, _)| s.size)
-        .sum();
-    let out_bytes: usize = proc
-        .layout
-        .params
-        .iter()
-        .zip(&proc.def.params)
-        .filter(|(_, p)| p.dir.is_out())
-        .map(|(s, _)| s.size)
-        .sum::<usize>()
-        + proc.layout.ret.as_ref().map_or(0, |s| s.size);
+    let in_bytes = plan.in_bytes;
+    let out_bytes = plan.out_bytes;
 
     // The stub's queue management and register setup touch the A-stack.
-    touch_set(
-        cpu,
-        aref.region.pages_for(aref.offset, 1).collect(),
-        &mut meter,
-    );
+    touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut meter);
 
-    // Push the arguments onto the shared A-stack (copy A of Table 3).
+    // Push the arguments onto the shared A-stack (copy A of Table 3). A
+    // compiled push plan executes the fused bulk moves; otherwise the
+    // interpreter walks the parameter list op by op.
     let mut oob = OobStore::new();
     {
         let mut frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
         let mut vm = StubVm::new(&cost, cpu, &mut meter);
-        vm.client_push_args(proc, args, &mut frame, &mut oob)?;
+        match &plan.push {
+            Some(p) => p.execute(proc, args, &mut frame, &mut vm)?,
+            None => vm.client_push_args(proc, args, &mut frame, &mut oob)?,
+        }
         let misses = frame.misses();
         meter.add_tlb_misses(misses);
     }
-    for (slot, p) in proc.layout.params.iter().zip(&proc.def.params) {
-        if p.dir.is_in() {
-            copies.record(CopyOp::A, slot.size);
+    if metered {
+        for (slot, p) in proc.layout.params.iter().zip(&proc.def.params) {
+            if p.dir.is_in() {
+                copies.record(CopyOp::A, slot.size);
+            }
         }
     }
 
@@ -429,7 +426,11 @@ pub(crate) fn lrpc_call(
         Phase::KernelTransfer,
         cost.kernel_transfer_call,
     );
-    touch_set(cpu, client_state.touch.kernel_call(), &mut meter);
+    touch_set(
+        cpu,
+        client_state.touch.kernel_call().iter().copied(),
+        &mut meter,
+    );
 
     // Verify the Binding Object and procedure identifier.
     //
@@ -530,7 +531,7 @@ pub(crate) fn lrpc_call(
 
     // ---- Upcall into the server stub ---------------------------------
     charge(cpu, &mut meter, Phase::ServerStub, cost.server_stub_entry);
-    touch_set(cpu, state.touch.server_side(), &mut meter);
+    touch_set(cpu, state.touch.server_side().iter().copied(), &mut meter);
     if exchanged_on_call && in_bytes > 0 {
         // The arguments were written into the other processor's cache.
         charge(
@@ -541,11 +542,7 @@ pub(crate) fn lrpc_call(
         );
     }
 
-    touch_set(
-        cpu,
-        aref.region.pages_for(aref.offset, 1).collect(),
-        &mut meter,
-    );
+    touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut meter);
     // Rebuild the out-of-band store from the shared segment, with the
     // server's protection context enforced.
     let server_oob: OobStore = match &oob_region {
@@ -571,14 +568,23 @@ pub(crate) fn lrpc_call(
     let sargs = {
         let frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
         let mut vm = StubVm::new(&cost, cpu, &mut meter);
-        let vals = vm.server_read_args(proc, &frame, &server_oob)?;
+        let vals = match &plan.read {
+            Some(rp) => {
+                let mut out = ArgVec::new();
+                rp.execute(&frame, &mut vm, &mut out)?;
+                out
+            }
+            None => ArgVec::from_vec(vm.server_read_args(proc, &frame, &server_oob)?),
+        };
         let misses = frame.misses();
         meter.add_tlb_misses(misses);
         vals
     };
-    for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
-        if p.dir.is_in() && needs_server_copy(p) {
-            copies.record(CopyOp::E, slot_l.size);
+    if metered {
+        for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+            if p.dir.is_in() && needs_server_copy(p) {
+                copies.record(CopyOp::E, slot_l.size);
+            }
         }
     }
 
@@ -589,14 +595,25 @@ pub(crate) fn lrpc_call(
         domain: Arc::clone(&state.server),
         cpu_id: cpu.id(),
     };
-    let reply = state.clerk.dispatch(proc_index, &sctx, &sargs)?;
+    let reply = state.clerk.dispatch(proc_index, &sctx, sargs.as_slice())?;
 
     // ---- Server stub, return half ------------------------------------
     charge(cpu, &mut meter, Phase::ServerStub, cost.server_stub_return);
     {
         let mut frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
-        let mut vm = StubVm::new(&cost, cpu, &mut meter);
-        vm.server_place_results(proc, reply.ret.as_ref(), &reply.outs, &mut frame, &mut oob)?;
+        match &plan.place {
+            Some(p) => p.execute(reply.ret.as_ref(), &reply.outs, &mut frame)?,
+            None => {
+                let mut vm = StubVm::new(&cost, cpu, &mut meter);
+                vm.server_place_results(
+                    proc,
+                    reply.ret.as_ref(),
+                    &reply.outs,
+                    &mut frame,
+                    &mut oob,
+                )?;
+            }
+        }
         let misses = frame.misses();
         meter.add_tlb_misses(misses);
     }
@@ -614,7 +631,7 @@ pub(crate) fn lrpc_call(
         Phase::KernelTransfer,
         cost.kernel_transfer_return,
     );
-    touch_set(cpu, state.touch.kernel_return(), &mut meter);
+    touch_set(cpu, state.touch.kernel_return().iter().copied(), &mut meter);
 
     slot.release();
     pool.end_call(astack_key);
@@ -670,7 +687,11 @@ pub(crate) fn lrpc_call(
 
     // ---- Client stub, return half --------------------------------------
     charge(cpu, &mut meter, Phase::ClientStub, cost.client_stub_return);
-    touch_set(cpu, client_state.touch.client_return(), &mut meter);
+    touch_set(
+        cpu,
+        client_state.touch.client_return().iter().copied(),
+        &mut meter,
+    );
     if exchanged_on_return && out_bytes > 0 {
         charge(
             cpu,
@@ -680,28 +701,29 @@ pub(crate) fn lrpc_call(
         );
     }
 
-    touch_set(
-        cpu,
-        aref.region.pages_for(aref.offset, 1).collect(),
-        &mut meter,
-    );
+    touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut meter);
 
     // Returned values are copied from the A-stack directly into their
     // final destination (copy F of Table 3).
     let (ret, outs) = {
         let frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
         let mut vm = StubVm::new(&cost, cpu, &mut meter);
-        let r = vm.client_fetch_results(proc, &frame, &oob)?;
+        let r = match &plan.fetch {
+            Some(p) => p.execute(&frame, &mut vm)?,
+            None => vm.client_fetch_results(proc, &frame, &oob)?,
+        };
         let misses = frame.misses();
         meter.add_tlb_misses(misses);
         r
     };
-    if proc.layout.ret.is_some() {
-        copies.record(CopyOp::F, proc.layout.ret.as_ref().map_or(0, |s| s.size));
-    }
-    for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
-        if p.dir.is_out() {
-            copies.record(CopyOp::F, slot_l.size);
+    if metered {
+        if proc.layout.ret.is_some() {
+            copies.record(CopyOp::F, proc.layout.ret.as_ref().map_or(0, |s| s.size));
+        }
+        for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+            if p.dir.is_out() {
+                copies.record(CopyOp::F, slot_l.size);
+            }
         }
     }
 
@@ -727,6 +749,16 @@ pub(crate) fn lrpc_call(
     let elapsed = cpu.now() - start;
     client_state.stats.note_call();
     client_state.stats.observe_latency(elapsed);
+    if metered {
+        // Virtual time the four stub halves cost this call, for the
+        // per-interface `lrpc_stub_ns` histogram.
+        client_state.stats.observe_stub_ns(
+            meter.total_for(Phase::ClientStub)
+                + meter.total_for(Phase::ServerStub)
+                + meter.total_for(Phase::ArgCopy)
+                + meter.total_for(Phase::Marshal),
+        );
+    }
     client_state
         .stats
         .note_exchanges(u64::from(exchanged_on_call) + u64::from(exchanged_on_return));

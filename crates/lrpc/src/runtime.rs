@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use firefly::fault::FaultPlan;
 use idl::ast::InterfaceDef;
+use idl::plan::InterfacePlans;
 use idl::stubgen::{compile, CompiledInterface};
 use kernel::ids::DomainId;
 use kernel::kernel::{Kernel, TerminationReport};
@@ -67,6 +68,9 @@ impl Default for RuntimeConfig {
 /// Null-call fast path acquires zero process-global locks. The remaining
 /// runtime maps are read-mostly `RwLock`s (or import-time-only mutexes)
 /// and report every acquisition to [`firefly::meter::note_global_lock`].
+/// One plan-cache slot: the pinned interface plus its compiled plans.
+type PlanCacheEntry = (Arc<CompiledInterface>, Arc<InterfacePlans>);
+
 pub struct LrpcRuntime {
     kernel: Arc<Kernel>,
     config: RuntimeConfig,
@@ -85,6 +89,15 @@ pub struct LrpcRuntime {
     /// Components register handles at bind time; the steady call path
     /// updates them with lone atomic ops, never through the registry.
     metrics: Arc<obs::Registry>,
+    /// Bind-time compiled copy plans, keyed by the compiled interface's
+    /// identity. The stored `Arc<CompiledInterface>` pins the keyed
+    /// address, so a key can never be reused by a different interface
+    /// while its entry lives. Import-time only — the call path reads
+    /// plans off the binding, never through this map.
+    plan_cache: Mutex<HashMap<usize, PlanCacheEntry>>,
+    /// Plan-cache hit/miss counters (`stub_plan_cache_{hit,miss}`).
+    plan_hits: obs::Counter,
+    plan_misses: obs::Counter,
 }
 
 impl LrpcRuntime {
@@ -95,6 +108,9 @@ impl LrpcRuntime {
 
     /// Creates a runtime with explicit configuration.
     pub fn with_config(kernel: Arc<Kernel>, config: RuntimeConfig) -> Arc<LrpcRuntime> {
+        let metrics = Arc::new(obs::Registry::new());
+        let plan_hits = metrics.counter("stub_plan_cache_hit");
+        let plan_misses = metrics.counter("stub_plan_cache_miss");
         Arc::new(LrpcRuntime {
             kernel,
             config,
@@ -105,7 +121,10 @@ impl LrpcRuntime {
             proxy_domain: Mutex::new(None),
             fault: RwLock::new(None),
             fault_installed: AtomicBool::new(false),
-            metrics: Arc::new(obs::Registry::new()),
+            metrics,
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_hits,
+            plan_misses,
         })
     }
 
@@ -155,6 +174,24 @@ impl LrpcRuntime {
         Ok(clerk)
     }
 
+    /// The compiled copy plans for an interface, compiled on first use and
+    /// cached per interface identity — re-imports (any client domain, the
+    /// same export) share one compilation. Bind-time only: takes the
+    /// runtime's plan-cache mutex.
+    pub fn compiled_plans(&self, iface: &Arc<CompiledInterface>) -> Arc<InterfacePlans> {
+        firefly::meter::note_global_lock();
+        let key = Arc::as_ptr(iface) as usize;
+        let mut cache = self.plan_cache.lock();
+        if let Some((_, plans)) = cache.get(&key) {
+            self.plan_hits.inc();
+            return Arc::clone(plans);
+        }
+        self.plan_misses.inc();
+        let plans = Arc::new(InterfacePlans::compile(iface));
+        cache.insert(key, (Arc::clone(iface), Arc::clone(&plans)));
+        plans
+    }
+
     /// Imports an interface into `client`: waits for the exporter's clerk,
     /// obtains the PDL, pairwise-allocates the A-stacks and linkage
     /// records, and returns the Binding Object wrapped in a [`Binding`].
@@ -193,6 +230,7 @@ impl LrpcRuntime {
             self.config.astack_mapping,
         );
         let touch = TouchPlan::allocate(&self.kernel, client, &server);
+        let plans = self.compiled_plans(clerk.interface());
         let estack_pool = self.estack_pool(&server);
         let state = Arc::new(BindingState::new(
             Arc::clone(clerk.interface()),
@@ -201,6 +239,7 @@ impl LrpcRuntime {
             clerk,
             astacks,
             touch,
+            plans,
             estack_pool,
             false,
         ));
@@ -208,6 +247,9 @@ impl LrpcRuntime {
             self.metrics
                 .histogram(&format!("lrpc_call_latency_ns:{name}")),
         );
+        state
+            .stats
+            .attach_stub_ns(self.metrics.histogram(&format!("lrpc_stub_ns:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -264,6 +306,7 @@ impl LrpcRuntime {
             &per_proc,
         );
         let touch = TouchPlan::allocate(&self.kernel, client, &proxy);
+        let plans = self.compiled_plans(&interface);
         let estack_pool = self.estack_pool(&proxy);
         let state = Arc::new(BindingState::new(
             interface,
@@ -272,6 +315,7 @@ impl LrpcRuntime {
             clerk,
             astacks,
             touch,
+            plans,
             estack_pool,
             true,
         ));
@@ -279,6 +323,9 @@ impl LrpcRuntime {
             self.metrics
                 .histogram(&format!("lrpc_call_latency_ns:{name}")),
         );
+        state
+            .stats
+            .attach_stub_ns(self.metrics.histogram(&format!("lrpc_stub_ns:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }

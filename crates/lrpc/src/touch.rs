@@ -38,10 +38,19 @@ const KERNEL_RETURN_PAGES: usize = 7;
 const CLIENT_RETURN_PAGES: usize = 5;
 
 /// The per-binding working-set pages, grouped by call phase.
+///
+/// The page sets are precomputed once at allocation so the steady-state
+/// call path borrows slices instead of rebuilding page vectors per call.
 pub struct TouchPlan {
-    client_rt: Arc<Region>,
-    kernel_rt: Arc<Region>,
-    server_rt: Arc<Region>,
+    /// Held so the regions stay allocated for the binding's lifetime.
+    _client_rt: Arc<Region>,
+    _kernel_rt: Arc<Region>,
+    _server_rt: Arc<Region>,
+    client_call: Vec<PageId>,
+    kernel_call: Vec<PageId>,
+    server_side: Vec<PageId>,
+    kernel_return: Vec<PageId>,
+    client_return: Vec<PageId>,
 }
 
 impl TouchPlan {
@@ -67,9 +76,14 @@ impl TouchPlan {
             Protection::ReadWrite,
         );
         TouchPlan {
-            client_rt,
-            kernel_rt,
-            server_rt,
+            client_call: Self::pages(&client_rt, 0, CLIENT_CALL_PAGES),
+            client_return: Self::pages(&client_rt, CLIENT_CALL_PAGES, CLIENT_RETURN_PAGES),
+            kernel_call: Self::pages(&kernel_rt, 0, KERNEL_CALL_PAGES),
+            kernel_return: Self::pages(&kernel_rt, KERNEL_CALL_PAGES, KERNEL_RETURN_PAGES),
+            server_side: Self::pages(&server_rt, 0, SERVER_SIDE_PAGES),
+            _client_rt: client_rt,
+            _kernel_rt: kernel_rt,
+            _server_rt: server_rt,
         }
     }
 
@@ -80,28 +94,28 @@ impl TouchPlan {
     }
 
     /// Pages the client stub touches on the call path.
-    pub fn client_call(&self) -> Vec<PageId> {
-        Self::pages(&self.client_rt, 0, CLIENT_CALL_PAGES)
+    pub fn client_call(&self) -> &[PageId] {
+        &self.client_call
     }
 
     /// Pages the kernel touches on the call path.
-    pub fn kernel_call(&self) -> Vec<PageId> {
-        Self::pages(&self.kernel_rt, 0, KERNEL_CALL_PAGES)
+    pub fn kernel_call(&self) -> &[PageId] {
+        &self.kernel_call
     }
 
     /// Pages the server stub and procedure touch.
-    pub fn server_side(&self) -> Vec<PageId> {
-        Self::pages(&self.server_rt, 0, SERVER_SIDE_PAGES)
+    pub fn server_side(&self) -> &[PageId] {
+        &self.server_side
     }
 
     /// Pages the kernel touches on the return path.
-    pub fn kernel_return(&self) -> Vec<PageId> {
-        Self::pages(&self.kernel_rt, KERNEL_CALL_PAGES, KERNEL_RETURN_PAGES)
+    pub fn kernel_return(&self) -> &[PageId] {
+        &self.kernel_return
     }
 
     /// Pages the client stub touches on the return path.
-    pub fn client_return(&self) -> Vec<PageId> {
-        Self::pages(&self.client_rt, CLIENT_CALL_PAGES, CLIENT_RETURN_PAGES)
+    pub fn client_return(&self) -> &[PageId] {
+        &self.client_return
     }
 }
 

@@ -188,6 +188,18 @@ impl<'a> TypedCall<'a> {
         self
     }
 
+    /// True if every stub half of this procedure was specialized into a
+    /// compiled copy plan at import time — i.e. the call will execute
+    /// fused bulk moves with no per-call heap allocation rather than the
+    /// op-by-op stub interpreter. Useful when auditing a hot path.
+    pub fn uses_compiled_stubs(&self) -> bool {
+        self.binding
+            .stub_plans()
+            .procs
+            .get(self.proc_index)
+            .is_some_and(|p| p.fully_compiled())
+    }
+
     /// Makes the LRPC.
     pub fn call(self, cpu_id: usize, thread: &Arc<Thread>) -> Result<TypedOutcome, CallError> {
         if let Some(e) = self.error {
@@ -309,6 +321,15 @@ mod tests {
             .unwrap();
         assert_eq!(sum.ret_i32().unwrap(), 42);
         assert!(sum.elapsed() > firefly::Nanos::ZERO);
+    }
+
+    #[test]
+    fn fixed_procs_report_compiled_stubs_and_variable_ones_do_not() {
+        let (_rt, _thread, binding) = env();
+        assert!(binding.invoke("Add").unwrap().uses_compiled_stubs());
+        assert!(binding.invoke("Read").unwrap().uses_compiled_stubs());
+        // `Store` takes a variable-size parameter: interpreter fallback.
+        assert!(!binding.invoke("Store").unwrap().uses_compiled_stubs());
     }
 
     #[test]

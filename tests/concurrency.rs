@@ -347,6 +347,20 @@ fn estack_pool_reclaims_under_concurrent_pressure() {
             });
         }
     });
+    // A late-binding fifth client guarantees the reclamation path runs:
+    // its A-stacks live in a fresh region, so its first call presents a
+    // key the pool has never seen while the pool sits at/over its 2-stack
+    // budget with every prior association idle — the LRU one must be
+    // reclaimed. (The concurrent phase above may or may not reclaim on
+    // its own, depending on how the threads interleave.)
+    let late = rt.kernel().create_domain("c-late");
+    let binding = rt.import(&late, "S").expect("late import");
+    let thread = rt.kernel().spawn_thread(&late);
+    let out = binding
+        .call_indexed(0, &thread, 0, &[Value::Int32(7)])
+        .expect("late call");
+    assert_eq!(out.ret, Some(Value::Int32(7)));
+
     let stats = rt.estack_pool(&server).stats();
     // Four bindings × distinct A-stacks with only 2 budgeted E-stacks:
     // reclamation must have kicked in, and concurrent in-call E-stacks may

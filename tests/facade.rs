@@ -85,6 +85,50 @@ fn simulation_plus_typed_api_end_to_end() {
 }
 
 #[test]
+fn stub_plan_cache_and_stub_histogram_are_observable() {
+    // The stub compiler runs once per interface: the first import misses
+    // the plan cache and compiles, further imports of the same interface
+    // hit. Metered calls feed the per-interface stub-phase histogram.
+    let sim = Simulation::cvax_serial();
+    let server = sim.rt.kernel().create_domain("echo");
+    sim.rt
+        .export(
+            &server,
+            "interface Echo { procedure Id(x: int32) -> int32; }",
+            vec![
+                Box::new(|_: &ServerCtx, args: &[Value]| Ok(Reply::value(args[0].clone())))
+                    as Handler,
+            ],
+        )
+        .unwrap();
+    let c1 = sim.rt.kernel().create_domain("app1");
+    let c2 = sim.rt.kernel().create_domain("app2");
+    let b1 = sim.rt.import(&c1, "Echo").unwrap();
+    let _b2 = sim.rt.import(&c2, "Echo").unwrap();
+
+    let thread = sim.rt.kernel().spawn_thread(&c1);
+    let out = b1.call_indexed(0, &thread, 0, &[Value::Int32(9)]).unwrap();
+    assert_eq!(out.ret, Some(Value::Int32(9)));
+
+    let snap = sim.rt.collect_metrics();
+    assert_eq!(
+        snap.counter("stub_plan_cache_miss"),
+        Some(1),
+        "first import compiles the interface's copy plans"
+    );
+    assert_eq!(
+        snap.counter("stub_plan_cache_hit"),
+        Some(1),
+        "second import of the same interface reuses them"
+    );
+    let stub = snap
+        .histogram("lrpc_stub_ns:Echo")
+        .expect("stub-phase histogram attached at import");
+    assert_eq!(stub.count, 1, "one metered call observed");
+    assert!(stub.sum > 0, "the stub phase charged virtual time");
+}
+
+#[test]
 fn presets_measure_what_they_claim() {
     // The serial preset reproduces the paper's serial Null; the Firefly
     // preset with a parked idle CPU reproduces the MP Null.

@@ -16,6 +16,8 @@
 //! thread's counters for the scope's lifetime and restores them on drop,
 //! so parallel tests cannot bleed acquisitions into each other.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::{Arc, Mutex};
 
 use bench::phases;
@@ -29,6 +31,49 @@ use lrpc::{Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
 /// Serializes the tests that toggle the process-global flight recorder
 /// (within this test binary; other binaries are separate processes).
 static FLIGHT_TOGGLE: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// Heap-allocation tally.
+//
+// The compiled copy plans promise a *zero-allocation* fast path for
+// fixed-argument calls, so this binary routes the global allocator
+// through a per-thread counter. Thread-locality keeps parallel tests
+// from bleeding allocations into each other, exactly like `LockTally`.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn thread_allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 fn null_env(domain_caching: bool) -> (Arc<LrpcRuntime>, Arc<kernel::Domain>, lrpc::Binding) {
     let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
@@ -166,6 +211,74 @@ fn domain_caching_path_is_also_global_lock_free() {
     binding
         .call_unmetered(0, &thread, 0, &[])
         .expect("measured");
+    assert_eq!(scope.global(), 0);
+}
+
+#[test]
+fn steady_state_null_call_makes_zero_heap_allocations() {
+    // The compiled copy plan executes the whole stub cycle with borrowed
+    // slices and stack scratch: once the E-stack association and linkage
+    // stack are warm, an unmetered Null call must not touch the heap at
+    // all (and still without a single process-global lock).
+    let (rt, client, binding) = null_env(false);
+    let thread = rt.kernel().spawn_thread(&client);
+    for _ in 0..8 {
+        binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
+    }
+
+    let scope = LockTally::scope();
+    let before = thread_allocations();
+    binding
+        .call_unmetered(0, &thread, 0, &[])
+        .expect("measured");
+    let allocated = thread_allocations() - before;
+    assert_eq!(
+        allocated, 0,
+        "a steady-state Null call must not allocate ({allocated} allocations)"
+    );
+    assert_eq!(scope.global(), 0);
+}
+
+#[test]
+fn steady_state_fixed_arg_call_makes_zero_heap_allocations() {
+    // Same contract with real argument traffic: two int32 in-params and
+    // an int32 result ride the fused copy plan, the inline ArgVec and
+    // stack scratch buffers end to end.
+    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(kernel, RuntimeConfig::default());
+    let server = rt.kernel().create_domain("add-server");
+    rt.export(
+        &server,
+        "interface A { procedure Add(a: int32, b: int32) -> int32; }",
+        vec![Box::new(|_: &ServerCtx, args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                unreachable!()
+            };
+            Ok(Reply::value(Value::Int32(a + b)))
+        }) as Handler],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("add-client");
+    let binding = rt.import(&client, "A").unwrap();
+    let thread = rt.kernel().spawn_thread(&client);
+    let args = [Value::Int32(40), Value::Int32(2)];
+    for _ in 0..8 {
+        binding
+            .call_unmetered(0, &thread, 0, &args)
+            .expect("warmup");
+    }
+
+    let scope = LockTally::scope();
+    let before = thread_allocations();
+    let out = binding
+        .call_unmetered(0, &thread, 0, &args)
+        .expect("measured");
+    let allocated = thread_allocations() - before;
+    assert_eq!(out.ret, Some(Value::Int32(42)));
+    assert_eq!(
+        allocated, 0,
+        "a steady-state fixed-argument call must not allocate ({allocated} allocations)"
+    );
     assert_eq!(scope.global(), 0);
 }
 
