@@ -23,6 +23,7 @@
 
 use std::process::ExitCode;
 
+use bench::bulk;
 use bench::host_parallel;
 use bench::json::Json;
 use bench::phases;
@@ -31,12 +32,14 @@ use bench::stubs;
 const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
 const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
 const STUBS_SCHEMA: &str = "lrpc-bench-stubs/v1";
+const BULK_SCHEMA: &str = "lrpc-bench-bulk/v1";
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--calls N] [--threads K]\n       \
          bench --phases [--check]\n       \
          bench --stubs [--check]\n       \
+         bench --bulk [--check]\n       \
          bench --validate FILE..."
     );
     std::process::exit(2);
@@ -172,6 +175,59 @@ fn run_stubs(check: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the bulk-plane payload sweep, appends the measurements to
+/// `BENCH_bulk.json`, and (with `check`) fails on any gate violation:
+/// <2x host speedup over the per-call segment path at >=8 KB payloads.
+/// Virtual-charge identity and the zero-fallback steady state are
+/// asserted inside the run itself.
+fn run_bulk(check: bool) -> ExitCode {
+    let report = bulk::run(bulk::DEFAULT_ITERS);
+    print!("{}", bulk::render(&report));
+
+    let points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("proc".into(), Json::Str(p.proc.into())),
+                ("payload".into(), Json::Num(p.payload as f64)),
+                ("arena_ns".into(), Json::Num(p.arena_ns)),
+                ("fallback_ns".into(), Json::Num(p.fallback_ns)),
+                ("speedup".into(), Json::Num(p.speedup)),
+                (
+                    "arena_virtual_ns".into(),
+                    Json::Num(p.arena_virtual_ns as f64),
+                ),
+                (
+                    "fallback_virtual_ns".into(),
+                    Json::Num(p.fallback_virtual_ns as f64),
+                ),
+            ])
+        })
+        .collect();
+    let entry = Json::Obj(vec![
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("experiment".into(), Json::Str("bulk-arena".into())),
+        ("points".into(), Json::Arr(points)),
+    ]);
+    let path = repo_root().join("BENCH_bulk.json");
+    let mut doc = load_or_init(&path, BULK_SCHEMA, "bulk-arena");
+    push_entry(&mut doc, entry);
+    if let Err(e) = std::fs::write(&path, doc.pretty()) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if check && !report.passes() {
+        for p in report.gate_failures() {
+            eprintln!("bench: bulk gate failed: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
     let wall_start = std::time::Instant::now();
     let report = host_parallel::run_null_throughput(max_threads, calls_per_thread);
@@ -254,7 +310,7 @@ fn validate_doc(doc: &Json) -> Vec<String> {
     let schema = doc.get("schema").and_then(Json::as_str);
     if !matches!(
         schema,
-        Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA) | Some(STUBS_SCHEMA)
+        Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA) | Some(STUBS_SCHEMA) | Some(BULK_SCHEMA)
     ) {
         problems.push(format!("unknown or missing schema {schema:?}"));
     }
@@ -296,6 +352,29 @@ fn validate_doc(doc: &Json) -> Vec<String> {
                         Some(v) if v > 0.0 => {}
                         _ => problems.push(format!(
                             "entry {i} class {j}: missing or non-positive `{key}`"
+                        )),
+                    }
+                }
+            }
+            continue;
+        }
+        if schema == Some(BULK_SCHEMA) {
+            let Some(points) = entry.get("points").and_then(Json::as_arr) else {
+                problems.push(format!("entry {i}: missing `points` array"));
+                continue;
+            };
+            if points.is_empty() {
+                problems.push(format!("entry {i}: empty `points`"));
+            }
+            for (j, p) in points.iter().enumerate() {
+                if p.get("proc").and_then(Json::as_str).is_none() {
+                    problems.push(format!("entry {i} point {j}: missing `proc`"));
+                }
+                for key in ["payload", "arena_ns", "fallback_ns", "speedup"] {
+                    match p.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        _ => problems.push(format!(
+                            "entry {i} point {j}: missing or non-positive `{key}`"
                         )),
                     }
                 }
@@ -397,6 +476,15 @@ fn main() -> ExitCode {
                     _ => usage(),
                 };
                 return run_stubs(check);
+            }
+            "--bulk" => {
+                let rest = &args[i + 1..];
+                let check = match rest {
+                    [] => false,
+                    [flag] if flag == "--check" => true,
+                    _ => usage(),
+                };
+                return run_bulk(check);
             }
             "--validate" => {
                 let rest = &args[i + 1..];

@@ -41,7 +41,7 @@ use crate::experiments;
 /// Default cycles per measurement leg.
 pub const DEFAULT_ITERS: usize = 50_000;
 
-/// Host-speedup floor the gate enforces on `Null` and `BigIn`.
+/// Host-speedup floor the gate enforces on `Null`, `BigIn` and `BigInOut`.
 pub const MIN_SPEEDUP: f64 = 2.0;
 
 /// Stub-context touch-set sizes, from the binding's `TouchPlan` page
@@ -82,8 +82,8 @@ pub struct StubBenchReport {
 
 impl StubBenchReport {
     /// The acceptance gates: virtual cost preserved exactly, the host
-    /// fast path at least [`MIN_SPEEDUP`]× quicker on `Null` and `BigIn`,
-    /// and the §3.3 ratio still the paper's 4×.
+    /// fast path at least [`MIN_SPEEDUP`]× quicker on `Null`, `BigIn` and
+    /// `BigInOut`, and the §3.3 ratio still the paper's 4×.
     pub fn passes(&self) -> bool {
         self.gate_failures().is_empty()
     }
@@ -92,7 +92,7 @@ impl StubBenchReport {
     pub fn gate_failures(&self) -> Vec<String> {
         let mut problems = Vec::new();
         for c in &self.classes {
-            if matches!(c.name, "Null" | "BigIn") && c.speedup < MIN_SPEEDUP {
+            if matches!(c.name, "Null" | "BigIn" | "BigInOut") && c.speedup < MIN_SPEEDUP {
                 problems.push(format!(
                     "{}: compiled plan only {:.2}x faster than the interpreter \
                      (gate {MIN_SPEEDUP}x)",
@@ -242,7 +242,7 @@ fn interpreted_cycle(
         black_box(&sargs);
     }
     for (slot, p) in proc.layout.params.iter().zip(&proc.def.params) {
-        if p.dir.is_in() && idl::stubvm::needs_server_copy(p) {
+        if p.dir.is_in() && idl::stubvm::needs_server_copy(p, proc.def.inplace) {
             copies.record(idl::copyops::CopyOp::E, slot.size);
         }
     }

@@ -57,6 +57,9 @@ pub struct FaultConfig {
     /// Drain the procedure's A-stack free list just before each acquire,
     /// forcing the exhaustion path.
     pub astack_exhaust: bool,
+    /// Present the binding's bulk arena as exhausted before each large
+    /// call, forcing the per-call out-of-band fallback segment.
+    pub bulk_exhaust: bool,
     /// Every Nth call presents a forged Binding Object (wrong nonce) to
     /// the kernel (0 = never).
     pub forge_binding_every: u64,
@@ -77,6 +80,7 @@ impl Default for FaultConfig {
             server_hang_every: 0,
             dispatch_delay_us: 0,
             astack_exhaust: false,
+            bulk_exhaust: false,
             forge_binding_every: 0,
             terminate_server_after: 0,
         }
@@ -101,6 +105,7 @@ impl FaultConfig {
             && self.server_hang_every == 0
             && self.dispatch_delay_us == 0
             && !self.astack_exhaust
+            && !self.bulk_exhaust
             && self.forge_binding_every == 0
             && self.terminate_server_after == 0
     }
@@ -153,6 +158,8 @@ pub enum FaultKind {
     ServerTerminated,
     /// A class's A-stack free list was drained before an acquire.
     AStacksExhausted,
+    /// The bulk arena was presented as exhausted before a large call.
+    BulkArenaExhausted,
     /// A forged Binding Object was presented to the kernel.
     BindingForged,
 }
@@ -379,6 +386,16 @@ impl FaultPlan {
         self.config.astack_exhaust
     }
 
+    /// True if the bulk arena should be presented as exhausted for this
+    /// large call, forcing the per-call out-of-band fallback segment.
+    /// Records the event when it fires.
+    pub fn exhaust_bulk(&self, site: &str) -> bool {
+        if self.config.bulk_exhaust {
+            self.record(site, FaultKind::BulkArenaExhausted);
+        }
+        self.config.bulk_exhaust
+    }
+
     /// Blocks the calling (captured) thread on the plan's hang gate until
     /// [`FaultPlan::release_hangs`] is called. The release flag is sticky:
     /// hangs decided after release return immediately.
@@ -449,6 +466,7 @@ mod tests {
             assert_eq!(plan.packet_fate("net"), PacketFate::default());
             assert!(!plan.forge_binding("call"));
             assert!(!plan.exhaust_astacks("call"));
+            assert!(!plan.exhaust_bulk("call"));
         }
         assert_eq!(plan.event_count(), 0);
         assert!(plan.config().is_quiescent());

@@ -62,11 +62,15 @@ pub enum Phase {
     Wait,
     /// Anything else.
     Other,
+    /// Per-call out-of-band segment management: mapping, copying into and
+    /// unmapping the fallback segment for oversized arguments. (Appended
+    /// after `Other` so persisted span codes stay stable.)
+    OobSegment,
 }
 
 impl Phase {
     /// Every phase, in stable declaration order (code order).
-    pub const ALL: [Phase; 19] = [
+    pub const ALL: [Phase; 20] = [
         Phase::ProcedureCall,
         Phase::ClientStub,
         Phase::Trap,
@@ -86,6 +90,7 @@ impl Phase {
         Phase::Network,
         Phase::Wait,
         Phase::Other,
+        Phase::OobSegment,
     ];
 
     /// Stable numeric code used in flight-recorder spans (the `obs` crate
@@ -125,6 +130,7 @@ impl Phase {
             Phase::Network => "network",
             Phase::Wait => "wait",
             Phase::Other => "other",
+            Phase::OobSegment => "oob segment",
         }
     }
 }

@@ -87,6 +87,12 @@ pub struct ProcDef {
     /// arguments is equivalent to calling it once. Retry policies only
     /// re-issue calls to procedures carrying this attribute.
     pub idempotent: bool,
+    /// The server accepts a shared view of interpreted variable-size data
+    /// instead of the copy-on-guard default (Section 3.3: arguments "must
+    /// be copied once, from the optimized protocol's shared buffer into
+    /// the server's private one", *unless* the server is willing to read
+    /// them in place and tolerate the client changing them mid-call).
+    pub inplace: bool,
 }
 
 impl ProcDef {
@@ -99,6 +105,7 @@ impl ProcDef {
             astack_count: None,
             astack_size: None,
             idempotent: false,
+            inplace: false,
         }
     }
 

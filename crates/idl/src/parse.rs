@@ -357,6 +357,7 @@ impl<'a> Parser<'a> {
         let mut astack_count = None;
         let mut astack_size = None;
         let mut idempotent = false;
+        let mut inplace = false;
         while self.tok == Tok::LBracket {
             self.advance()?;
             let key = self.expect_ident()?;
@@ -372,6 +373,7 @@ impl<'a> Parser<'a> {
                 }
                 "astack_size" => astack_size = Some(value as usize),
                 "idempotent" => idempotent = value != 0,
+                "inplace" => inplace = value != 0,
                 other => {
                     return Err(self.error(format!("unknown attribute `{other}`")));
                 }
@@ -406,6 +408,7 @@ impl<'a> Parser<'a> {
             astack_count,
             astack_size,
             idempotent,
+            inplace,
         })
     }
 

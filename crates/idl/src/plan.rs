@@ -55,7 +55,7 @@ fn mismatch(ty: &Ty) -> WireError {
     }
 }
 
-/// How a fixed-size value moves between a [`Value`] and a frame slot.
+/// How a value moves between a [`Value`] and a frame slot.
 enum Class {
     /// Scalar (or small record): encoded length `len`, staged through
     /// stack scratch.
@@ -63,6 +63,10 @@ enum Class {
     /// `bytes[n]`: moved directly between the value's buffer and the
     /// frame, no staging copy.
     Bytes(usize),
+    /// `var bytes[max]` in an inline slot: a 4-byte length prefix plus the
+    /// payload, moved directly with the bounds check hoisted to the plan
+    /// (the only run-time decision left is the payload length itself).
+    Var(usize),
 }
 
 /// Classifies a type for plan compilation; `None` means this half must
@@ -70,6 +74,7 @@ enum Class {
 fn classify(ty: &Ty) -> Option<Class> {
     match ty {
         Ty::ByteArray(n) => Some(Class::Bytes(*n)),
+        Ty::VarBytes(max) => Some(Class::Var(*max)),
         _ => match ty.fixed_size() {
             Some(len) if len <= SCRATCH_BYTES => Some(Class::Scalar(len)),
             _ => None,
@@ -138,9 +143,35 @@ fn write_fixed(
         }
         return frame.write(offset, b);
     }
+    if let Ty::VarBytes(_) = ty {
+        return write_var(frame, offset, value, ty);
+    }
     let mut scratch = [0u8; SCRATCH_BYTES];
     let len = encode_fixed(value, ty, &mut scratch)?;
     frame.write(offset, &scratch[..len])
+}
+
+/// Writes a `var bytes` value: 4-byte little-endian length prefix, then the
+/// payload straight from the value's buffer. The two writes leave the frame
+/// byte-identical to the interpreter's single contiguous `encode_vec` write
+/// (the slot tail past `4 + len` is untouched in both).
+fn write_var(
+    frame: &mut dyn Frame,
+    offset: usize,
+    value: &Value,
+    ty: &Ty,
+) -> Result<(), StubError> {
+    let (Value::Var(b), Ty::VarBytes(max)) = (value, ty) else {
+        return Err(StubError::Wire(mismatch(ty)));
+    };
+    if b.len() > *max {
+        return Err(StubError::Wire(WireError::TooLong {
+            len: b.len(),
+            max: *max,
+        }));
+    }
+    frame.write(offset, &(b.len() as u32).to_le_bytes())?;
+    frame.write(offset + 4, b)
 }
 
 /// Reads one fixed-size value from a frame slot. Reads the full reserved
@@ -160,6 +191,18 @@ fn read_fixed(
         frame.read_into(offset, &mut buf)?;
         buf.truncate(*n);
         return Ok(Value::Bytes(buf));
+    }
+    if let Ty::VarBytes(_) = ty {
+        // Variable slots read the full reserved size like the interpreter
+        // (TLB touches match); the decoder consumes the length-prefixed
+        // payload and ignores the slot tail.
+        let buf = frame.read(offset, size)?;
+        let (v, _) = if checked {
+            decode_checked(&buf, ty)?
+        } else {
+            decode(&buf, ty)?
+        };
+        return Ok(v);
     }
     let mut scratch = [0u8; SCRATCH_BYTES];
     frame.read_into(offset, &mut scratch[..size])?;
@@ -297,6 +340,18 @@ pub enum PushStep {
         /// Array length.
         len: usize,
     },
+    /// A `var bytes[max]` argument in an inline slot: length prefix plus
+    /// payload moved directly from the value's buffer. Its data-op charge
+    /// depends on the run-time payload length, so it is issued per step
+    /// rather than folded into the plan's fused charge.
+    Var {
+        /// Parameter index.
+        param: usize,
+        /// Frame offset.
+        offset: usize,
+        /// Declared maximum payload length.
+        max: usize,
+    },
 }
 
 /// Compiled client call half: push every in-direction argument.
@@ -345,6 +400,25 @@ impl PushPlan {
                 }
                 PushStep::Bytes { param, offset, len } => match &args[*param] {
                     Value::Bytes(b) if b.len() == *len => frame.write(*offset, b)?,
+                    _ => {
+                        return Err(StubError::Wire(mismatch(&proc.def.params[*param].ty)));
+                    }
+                },
+                PushStep::Var { param, offset, max } => match &args[*param] {
+                    Value::Var(b) if b.len() <= *max => {
+                        // Run-time-length charge: one data op over the
+                        // 4-byte prefix plus the payload, exactly the
+                        // interpreter's `charge_op(lang, encoded.len())`.
+                        vm.charge_bulk(self.lang, 1, 4 + b.len() as u64);
+                        frame.write(*offset, &(b.len() as u32).to_le_bytes())?;
+                        frame.write(*offset + 4, b)?;
+                    }
+                    Value::Var(b) => {
+                        return Err(StubError::Wire(WireError::TooLong {
+                            len: b.len(),
+                            max: *max,
+                        }));
+                    }
                     _ => {
                         return Err(StubError::Wire(mismatch(&proc.def.params[*param].ty)));
                     }
@@ -596,6 +670,16 @@ fn compile_push(proc: &CompiledProc) -> Option<PushPlan> {
                 ops += 1;
                 bytes += len as u64;
             }
+            Class::Var(max) => {
+                // Charged at run time (payload length varies per call), so
+                // nothing is folded into the plan's fused charge.
+                flush(&mut run, &mut steps);
+                steps.push(PushStep::Var {
+                    param: i,
+                    offset: slot.offset,
+                    max,
+                });
+            }
             Class::Scalar(len) => {
                 ops += 1;
                 bytes += len as u64;
@@ -647,7 +731,7 @@ fn compile_read(proc: &CompiledProc) -> Option<ReadPlan> {
             return None;
         }
         classify(&param.ty)?;
-        let checked = needs_server_copy(param);
+        let checked = needs_server_copy(param, proc.def.inplace);
         if checked {
             // Only the Section 3.5 server-side copies are charged; plain
             // reads use the value directly off the shared A-stack.
@@ -830,15 +914,37 @@ mod tests {
     }
 
     #[test]
-    fn complex_and_variable_types_fall_back_to_the_interpreter() {
-        let iface =
-            compiled("interface B { procedure Walk(t: tree); procedure Log(m: var bytes[256]); }");
+    fn complex_and_out_of_band_types_fall_back_to_the_interpreter() {
+        // Complex types and OOB-demoted slots stay interpreted; inline
+        // variable byte arrays now compile.
+        let iface = compiled(
+            "interface B { procedure Walk(t: tree); procedure Send(pkt: var bytes[4096]); }",
+        );
         let walk = ProcPlan::compile(&iface.procs[0]);
         assert!(walk.push.is_none() && walk.read.is_none());
-        let log = ProcPlan::compile(&iface.procs[1]);
-        assert!(log.push.is_none(), "variable types are interpreter-only");
+        let send = ProcPlan::compile(&iface.procs[1]);
+        assert!(
+            send.push.is_none(),
+            "out-of-band slots are interpreter-only"
+        );
         let plans = InterfacePlans::compile(&iface);
         assert_eq!(plans.fully_compiled_count(), 0);
+    }
+
+    #[test]
+    fn inline_variable_bytes_compile() {
+        let iface = compiled("interface B { procedure Log(m: var bytes[256]); }");
+        let plan = ProcPlan::compile(&iface.procs[0]);
+        assert!(plan.fully_compiled(), "inline var bytes lower to a plan");
+        let push = plan.push.as_ref().unwrap();
+        assert!(matches!(
+            push.steps[0],
+            PushStep::Var {
+                param: 0,
+                offset: 0,
+                max: 256
+            }
+        ));
     }
 
     /// Runs the full four-half cycle through either the interpreter or the
@@ -910,6 +1016,59 @@ mod tests {
         let interp = cycle(&iface, &args, Some(Value::Int32(5)), &[], false);
         let plan = cycle(&iface, &args, Some(Value::Int32(5)), &[], true);
         assert_eq!(interp, plan);
+    }
+
+    #[test]
+    fn var_bytes_plan_cycle_matches_interpreter_at_every_length() {
+        // The defensive-copy (checked) path: interpreted variable data.
+        let iface = compiled("interface B { procedure Log(m: var bytes[256]); }");
+        for len in [0usize, 1, 37, 256] {
+            let args = [Value::Var(vec![0xAB; len])];
+            let interp = cycle(&iface, &args, None, &[], false);
+            let plan = cycle(&iface, &args, None, &[], true);
+            assert_eq!(interp, plan, "len={len}");
+        }
+    }
+
+    #[test]
+    fn inout_var_bytes_plan_cycle_matches_interpreter() {
+        let iface = compiled("interface B { procedure Echo(m: inout var bytes[128]); }");
+        assert!(ProcPlan::compile(&iface.procs[0]).fully_compiled());
+        let args = [Value::Var(vec![7; 99])];
+        let outs = [(0usize, Value::Var(vec![9; 42]))];
+        let interp = cycle(&iface, &args, None, &outs, false);
+        let plan = cycle(&iface, &args, None, &outs, true);
+        assert_eq!(interp, plan);
+    }
+
+    #[test]
+    fn inplace_var_bytes_skip_the_checked_copy_charge() {
+        // `[inplace]` waives the Section 3.3 defensive copy: the compiled
+        // read half charges nothing, same as the interpreter's shared view.
+        let guarded = compiled("interface B { procedure Log(m: var bytes[256]); }");
+        let shared = compiled("interface B { [inplace = 1] procedure Log(m: var bytes[256]); }");
+        let args = [Value::Var(vec![1; 200])];
+        let g = cycle(&guarded, &args, None, &[], true);
+        let s = cycle(&shared, &args, None, &[], true);
+        assert!(
+            s.3 < g.3,
+            "shared view must be cheaper than copy-on-guard: {} vs {}",
+            s.3,
+            g.3
+        );
+        let s_interp = cycle(&shared, &args, None, &[], false);
+        assert_eq!(s, s_interp, "inplace plan still matches its interpreter");
+    }
+
+    #[test]
+    fn by_ref_var_bytes_still_take_the_checked_copy() {
+        // `ref` forces the rebuild copy even under `[inplace]`.
+        let iface = compiled("interface B { [inplace = 1] procedure P(m: in ref var bytes[64]); }");
+        let args = [Value::Var(vec![3; 50])];
+        let interp = cycle(&iface, &args, None, &[], false);
+        let plan = cycle(&iface, &args, None, &[], true);
+        assert_eq!(interp, plan);
+        assert!(plan.3 > 0, "the rebuild copy is charged");
     }
 
     #[test]

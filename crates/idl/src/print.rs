@@ -36,6 +36,9 @@ fn print_proc(out: &mut String, p: &ProcDef) {
     if p.idempotent {
         out.push_str("    [idempotent = 1]\n");
     }
+    if p.inplace {
+        out.push_str("    [inplace = 1]\n");
+    }
     out.push_str("    procedure ");
     out.push_str(&p.name);
     out.push('(');
@@ -146,16 +149,19 @@ mod tests {
             proptest::option::of(arb_ty()),
             proptest::option::of(1u32..32),
             proptest::option::of(4usize..4096),
-            any::<bool>(),
+            (any::<bool>(), any::<bool>()),
         )
-            .prop_map(|(name, params, ret, astacks, asize, idempotent)| ProcDef {
-                name,
-                params,
-                ret,
-                astack_count: astacks,
-                astack_size: asize,
-                idempotent,
-            });
+            .prop_map(
+                |(name, params, ret, astacks, asize, (idempotent, inplace))| ProcDef {
+                    name,
+                    params,
+                    ret,
+                    astack_count: astacks,
+                    astack_size: asize,
+                    idempotent,
+                    inplace,
+                },
+            );
         (ident(), proptest::collection::vec(proc, 1..6)).prop_map(|(name, mut procs)| {
             // The parser rejects duplicate procedure/parameter names, so
             // uniquify the generated ones by suffixing their index.

@@ -253,9 +253,10 @@ fn compile_proc(index: usize, def: &ProcDef) -> CompiledProc {
             server_entry.push(StubOp::RebuildRef { param: i });
         } else if needs_check(&p.ty) {
             server_entry.push(StubOp::CopyArgIn { param: i });
-        } else if !p.noninterpreted && p.ty.fixed_size().is_none() {
+        } else if !def.inplace && !p.noninterpreted && p.ty.fixed_size().is_none() {
             // Interpreted variable data is copied off the shared A-stack so
-            // the client cannot change it mid-use.
+            // the client cannot change it mid-use — unless the procedure is
+            // declared `[inplace]` and accepts the shared view.
             server_entry.push(StubOp::CopyArgIn { param: i });
         }
     }
@@ -395,6 +396,31 @@ mod tests {
                 .contains(&StubOp::CopyArgIn { param: 0 }),
             "noninterpreted data needs no defensive copy (Section 3.5)"
         );
+    }
+
+    #[test]
+    fn inplace_procedures_accept_the_shared_view() {
+        let c = compiled(
+            "interface B { [inplace = 1] procedure A(d: var bytes[64]); \
+             [inplace = 1] procedure C(n: cardinal, d: in ref bytes[32]); }",
+        );
+        assert!(
+            !c.procs[0]
+                .server_entry
+                .ops
+                .contains(&StubOp::CopyArgIn { param: 0 }),
+            "[inplace] waives the defensive copy of interpreted variable data"
+        );
+        assert!(c.procs[0].def.inplace);
+        // Conformance checks and reference rebuilds are not waivable.
+        assert!(c.procs[1]
+            .server_entry
+            .ops
+            .contains(&StubOp::CopyArgIn { param: 0 }));
+        assert!(c.procs[1]
+            .server_entry
+            .ops
+            .contains(&StubOp::RebuildRef { param: 1 }));
     }
 
     #[test]

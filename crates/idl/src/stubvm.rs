@@ -159,9 +159,14 @@ pub type FetchedResults = (Option<Value>, Vec<(usize, Value)>);
 /// copy), interpreted variable data (the client could change it mid-call),
 /// and by-reference referents (the reference must be rebuilt on the private
 /// E-stack).
-pub fn needs_server_copy(param: &crate::ast::Param) -> bool {
+///
+/// `inplace` is the procedure's `[inplace]` attribute: a server that opts
+/// into a shared view of interpreted variable data waives the defensive
+/// copy (and with it the mid-call-mutation guarantee) — conformance checks
+/// and reference rebuilds still apply regardless.
+pub fn needs_server_copy(param: &crate::ast::Param, inplace: bool) -> bool {
     param.ty.needs_conformance_check()
-        || (!param.noninterpreted && param.ty.fixed_size().is_none())
+        || (!inplace && !param.noninterpreted && param.ty.fixed_size().is_none())
         || param.by_ref
 }
 
@@ -304,7 +309,7 @@ impl<'a> StubVm<'a> {
             let value = match slot.kind {
                 SlotKind::Inline => {
                     let raw = frame.read(slot.offset, slot.size)?;
-                    if needs_server_copy(param) {
+                    if needs_server_copy(param, proc.def.inplace) {
                         // Defensive copy / checked copy / reference rebuild:
                         // one more pass over the bytes.
                         self.charge_op(proc.lang, slot.size.min(raw.len()));

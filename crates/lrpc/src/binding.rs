@@ -19,6 +19,7 @@ use kernel::thread::Thread;
 use kernel::Domain;
 
 use crate::astack::AStackSet;
+use crate::bulk::BulkArena;
 use crate::error::CallError;
 use crate::runtime::LrpcRuntime;
 use crate::touch::TouchPlan;
@@ -195,6 +196,10 @@ pub struct BindingStats {
     failures: AtomicU64,
     exchanges: AtomicU64,
     remote_calls: AtomicU64,
+    /// Out-of-band calls that could not use the bulk arena (payload over
+    /// the chunk size, arena exhausted, or fault-injected) and paid the
+    /// per-call segment map/unmap instead.
+    bulk_fallbacks: AtomicU64,
     /// Per-call latency histogram, attached at import time when the
     /// binding is registered with the runtime's metrics registry. Bindings
     /// constructed outside a runtime simply never observe. `OnceLock::get`
@@ -203,6 +208,9 @@ pub struct BindingStats {
     /// Per-call stub-phase (client stub + server stub + argument
     /// copy/marshal) virtual time, attached the same way.
     stub_ns: OnceLock<obs::Histogram>,
+    /// Total out-of-band bytes per call (log2 buckets), attached the same
+    /// way as `lrpc_bulk_bytes:{interface}`.
+    bulk_bytes: OnceLock<obs::Histogram>,
 }
 
 impl BindingStats {
@@ -226,6 +234,11 @@ impl BindingStats {
         self.remote_calls.load(Ordering::Relaxed)
     }
 
+    /// Out-of-band calls that fell back to a per-call segment.
+    pub fn bulk_fallbacks(&self) -> u64 {
+        self.bulk_fallbacks.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn note_call(&self) {
         self.calls.fetch_add(1, Ordering::Relaxed);
     }
@@ -240,6 +253,10 @@ impl BindingStats {
 
     pub(crate) fn note_remote(&self) {
         self.remote_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_bulk_fallback(&self) {
+        self.bulk_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attaches the latency histogram this binding reports into. First
@@ -274,6 +291,22 @@ impl BindingStats {
             h.observe(stub.as_nanos());
         }
     }
+
+    /// Attaches the out-of-band bytes histogram. First attachment wins.
+    pub fn attach_bulk_bytes(&self, histogram: obs::Histogram) {
+        let _ = self.bulk_bytes.set(histogram);
+    }
+
+    /// The attached out-of-band bytes histogram, if any.
+    pub fn bulk_bytes(&self) -> Option<&obs::Histogram> {
+        self.bulk_bytes.get()
+    }
+
+    pub(crate) fn observe_bulk_bytes(&self, bytes: u64) {
+        if let Some(h) = self.bulk_bytes.get() {
+            h.observe(bytes);
+        }
+    }
 }
 
 /// The kernel-side state of one binding.
@@ -288,6 +321,10 @@ pub struct BindingState {
     pub clerk: Arc<Clerk>,
     /// The pairwise-allocated A-stacks and their linkage slots.
     pub astacks: AStackSet,
+    /// The bind-time bulk arena for large out-of-band parameters, allocated
+    /// alongside the A-stack list when the interface declares any;
+    /// `None` for fixed-size interfaces and remote bindings.
+    pub bulk: Option<Arc<BulkArena>>,
     /// The binding's TLB working-set plan.
     pub touch: TouchPlan,
     /// The compiled copy plans, one per procedure — the bind-time stub
@@ -323,6 +360,7 @@ impl BindingState {
         server: Arc<Domain>,
         clerk: Arc<Clerk>,
         astacks: AStackSet,
+        bulk: Option<Arc<BulkArena>>,
         touch: TouchPlan,
         plans: Arc<InterfacePlans>,
         estack_pool: Arc<crate::estack::EStackPool>,
@@ -334,6 +372,7 @@ impl BindingState {
             server,
             clerk,
             astacks,
+            bulk,
             touch,
             plans,
             estack_pool,

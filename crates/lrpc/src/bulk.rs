@@ -1,0 +1,364 @@
+//! Bind-time bulk arenas for large out-of-band parameters.
+//!
+//! Section 5.2 calls handling unexpectedly large parameters "complicated
+//! and relatively expensive, but infrequent": the baseline call path maps
+//! a fresh pairwise segment for every out-of-band call and unmaps it on
+//! return. When an interface *declares* large variable parameters, though,
+//! the traffic is not unexpected — so, exactly like the A-stack lists, the
+//! segment can be allocated once at bind time and reused per call.
+//!
+//! A [`BulkArena`] is one pairwise-mapped region (same
+//! `kernel::map_pairwise` primitive, same protection argument as the
+//! A-stacks: only the client and server domains pass the mapping check),
+//! carved into fixed-size chunks sized from the interface's declared
+//! maxima. Chunks are handed out by a lock-free Treiber free stack — the
+//! same discipline as [`crate::astack`] — so steady-state large calls
+//! place their payloads by reference in the arena with zero map/unmap
+//! traffic and zero locks. A call whose payload exceeds the chunk size
+//! (an *unbounded* complex type that outgrew its estimate) or that finds
+//! the arena exhausted falls back to the per-call segment path, which
+//! stays fully functional.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use firefly::mem::{Region, PAGE_SIZE};
+use idl::layout::{SlotKind, OOB_DESCRIPTOR_SIZE};
+use idl::stubgen::CompiledInterface;
+use idl::types::Ty;
+use kernel::kernel::Kernel;
+use kernel::Domain;
+
+use crate::astack::AStackSet;
+
+/// Chunk-size estimate for out-of-band parameters whose encoded size has
+/// no declared bound (complex types). Payloads that outgrow it take the
+/// per-call fallback.
+pub const UNBOUNDED_ESTIMATE: usize = 4096;
+
+/// One chunk leased from the arena for the duration of a call.
+#[derive(Clone, Copy, Debug)]
+pub struct BulkChunk {
+    /// Chunk index (pass back to [`BulkArena::release`]).
+    pub index: usize,
+    /// Byte offset of the chunk within the arena region.
+    pub offset: usize,
+    /// Chunk capacity in bytes.
+    pub size: usize,
+}
+
+/// Lock-free Treiber LIFO of free chunk indices — the same packed
+/// `(version << 32) | index + 1` head and successor-link array as the
+/// A-stack queues, so chunk churn never serializes concurrent calls.
+struct FreeStack {
+    head: AtomicU64,
+    free_len: AtomicUsize,
+}
+
+const EMPTY: u64 = 0;
+const LOW_MASK: u64 = 0xFFFF_FFFF;
+
+fn pack(version: u64, idx_plus1: u64) -> u64 {
+    (version << 32) | idx_plus1
+}
+
+impl FreeStack {
+    fn new() -> FreeStack {
+        FreeStack {
+            head: AtomicU64::new(EMPTY),
+            free_len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, links: &[AtomicU64], index: usize) {
+        let node = index as u64 + 1;
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            links[index].store(head & LOW_MASK, Ordering::SeqCst);
+            let next = pack((head >> 32) + 1, node);
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.free_len.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    fn pop(&self, links: &[AtomicU64]) -> Option<usize> {
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            let node = head & LOW_MASK;
+            if node == EMPTY {
+                return None;
+            }
+            let index = (node - 1) as usize;
+            let succ = links[index].load(Ordering::SeqCst) & LOW_MASK;
+            let next = pack((head >> 32) + 1, succ);
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.free_len.fetch_sub(1, Ordering::SeqCst);
+                    return Some(index);
+                }
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.free_len.load(Ordering::SeqCst)
+    }
+}
+
+/// The pairwise-shared bulk region of one binding.
+pub struct BulkArena {
+    region: Arc<Region>,
+    chunk_size: usize,
+    chunk_count: usize,
+    free: FreeStack,
+    links: Vec<AtomicU64>,
+    /// Chunks currently leased to in-flight calls; registered by the
+    /// runtime as `lrpc_bulk_arena_busy:{interface}`.
+    busy: obs::Gauge,
+}
+
+/// Largest encoded size a type can occupy in an out-of-band segment, or
+/// `None` when the type has no declared bound (complex encodings).
+fn max_encoded_size(ty: &Ty) -> Option<usize> {
+    match ty {
+        Ty::VarBytes(max) => Some(4 + max),
+        _ => ty.fixed_size(),
+    }
+}
+
+/// Bytes one call of `proc` can need in the arena: every in-direction
+/// out-of-band slot at its declared maximum, each with its 8-byte segment
+/// header. Unbounded types contribute [`UNBOUNDED_ESTIMATE`].
+fn proc_oob_need(proc: &idl::stubgen::CompiledProc) -> usize {
+    proc.def
+        .params
+        .iter()
+        .zip(&proc.layout.params)
+        .filter(|(p, s)| p.dir.is_in() && s.kind == SlotKind::OutOfBand)
+        .map(|(p, _)| max_encoded_size(&p.ty).unwrap_or(UNBOUNDED_ESTIMATE) + OOB_DESCRIPTOR_SIZE)
+        .sum()
+}
+
+fn align_up(n: usize, to: usize) -> usize {
+    n.div_ceil(to) * to
+}
+
+impl BulkArena {
+    /// Allocates the bulk arena for an interface at bind time, or `None`
+    /// when no procedure uses out-of-band parameters (fixed-size
+    /// interfaces pay nothing). The chunk size covers the largest declared
+    /// per-call need, page-aligned; the chunk count matches the binding's
+    /// A-stack count, so every simultaneous call the binding admits can
+    /// hold a chunk.
+    pub fn for_interface(
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+        label: &str,
+        iface: &CompiledInterface,
+        astacks: &AStackSet,
+    ) -> Option<BulkArena> {
+        let need = iface
+            .procs
+            .iter()
+            .filter(|p| p.layout.uses_out_of_band)
+            .map(proc_oob_need)
+            .max()
+            .filter(|&n| n > 0)?;
+        let chunk_size = align_up(need, PAGE_SIZE);
+        let chunk_count = astacks.total_count().max(1);
+        Some(BulkArena::allocate(
+            kernel,
+            client,
+            server,
+            label,
+            chunk_size,
+            chunk_count,
+        ))
+    }
+
+    /// Allocates an arena of `chunk_count` chunks of `chunk_size` bytes,
+    /// pairwise-mapped into exactly the client and server domains.
+    pub fn allocate(
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+        label: &str,
+        chunk_size: usize,
+        chunk_count: usize,
+    ) -> BulkArena {
+        assert!(chunk_count < u32::MAX as usize, "chunk indices must pack");
+        let region = kernel.map_pairwise(label, client, server, (chunk_size * chunk_count).max(1));
+        let links: Vec<AtomicU64> = (0..chunk_count).map(|_| AtomicU64::new(EMPTY)).collect();
+        let free = FreeStack::new();
+        // Seed highest-first so the first acquire leases chunk 0.
+        for i in (0..chunk_count).rev() {
+            free.push(&links, i);
+        }
+        BulkArena {
+            region,
+            chunk_size,
+            chunk_count,
+            free,
+            links,
+            busy: obs::Gauge::new(),
+        }
+    }
+
+    /// Leases a chunk able to hold `need` bytes. `None` when the payload
+    /// exceeds the chunk size or every chunk is in flight — the caller
+    /// falls back to a per-call segment.
+    pub fn acquire(&self, need: usize) -> Option<BulkChunk> {
+        if need > self.chunk_size {
+            return None;
+        }
+        let index = self.free.pop(&self.links)?;
+        self.busy.inc();
+        Some(BulkChunk {
+            index,
+            offset: index * self.chunk_size,
+            size: self.chunk_size,
+        })
+    }
+
+    /// Returns a chunk to the free stack at call return.
+    pub fn release(&self, index: usize) {
+        debug_assert!(index < self.chunk_count);
+        self.busy.dec();
+        self.free.push(&self.links, index);
+    }
+
+    /// The arena's backing region (pairwise-mapped at bind time).
+    pub fn region(&self) -> &Arc<Region> {
+        &self.region
+    }
+
+    /// Bytes per chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Total chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// Chunks currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Live occupancy gauge (chunks leased to in-flight calls).
+    pub fn busy_gauge(&self) -> &obs::Gauge {
+        &self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly::cost::CostModel;
+    use firefly::cpu::Machine;
+
+    fn setup() -> (Arc<Kernel>, Arc<Domain>, Arc<Domain>) {
+        let k = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+        let c = k.create_domain("client");
+        let s = k.create_domain("server");
+        (k, c, s)
+    }
+
+    fn compiled(src: &str) -> CompiledInterface {
+        idl::stubgen::compile(&idl::parse(src).unwrap())
+    }
+
+    #[test]
+    fn fixed_interfaces_get_no_arena() {
+        let (k, c, s) = setup();
+        let iface = compiled("interface B { procedure Add(a: int32, b: int32) -> int32; }");
+        let astacks = AStackSet::allocate(&k, &c, &s, "astacks", &[(12, 5)]);
+        assert!(BulkArena::for_interface(&k, &c, &s, "bulk", &iface, &astacks).is_none());
+    }
+
+    #[test]
+    fn arena_sizes_from_the_declared_maximum() {
+        let (k, c, s) = setup();
+        let iface = compiled("interface B { procedure Send(pkt: var bytes[8192]); }");
+        let astacks = AStackSet::allocate(&k, &c, &s, "astacks", &[(1500, 5)]);
+        let arena = BulkArena::for_interface(&k, &c, &s, "bulk", &iface, &astacks).unwrap();
+        // 4-byte length prefix + 8192 payload + 8-byte segment header,
+        // rounded up to a page.
+        assert!(arena.chunk_size() >= 8192 + 4 + OOB_DESCRIPTOR_SIZE);
+        assert_eq!(arena.chunk_size() % PAGE_SIZE, 0);
+        assert_eq!(arena.chunk_count(), 5);
+        assert_eq!(arena.free_count(), 5);
+    }
+
+    #[test]
+    fn chunks_are_lifo_disjoint_and_bounded() {
+        let (k, c, s) = setup();
+        let arena = BulkArena::allocate(&k, &c, &s, "bulk", 1024, 3);
+        let a = arena.acquire(100).unwrap();
+        let b = arena.acquire(1024).unwrap();
+        assert_ne!(a.offset, b.offset);
+        assert_eq!(a.offset, 0, "first lease takes chunk 0");
+        assert!(arena.acquire(2000).is_none(), "oversized payloads refuse");
+        let c3 = arena.acquire(1).unwrap();
+        assert_eq!(arena.free_count(), 0);
+        assert_eq!(arena.busy_gauge().get(), 3);
+        assert!(arena.acquire(1).is_none(), "exhausted arena refuses");
+        arena.release(c3.index);
+        arena.release(b.index);
+        arena.release(a.index);
+        assert_eq!(arena.free_count(), 3);
+        assert_eq!(arena.busy_gauge().get(), 0);
+        // LIFO: the most recently released chunk comes back first.
+        assert_eq!(arena.acquire(1).unwrap().index, a.index);
+    }
+
+    #[test]
+    fn third_party_domain_cannot_touch_the_arena() {
+        let (k, c, s) = setup();
+        let third = k.create_domain("third");
+        let arena = BulkArena::allocate(&k, &c, &s, "bulk", 512, 2);
+        let region = arena.region();
+        assert!(c.ctx().check(region.id(), true, false).is_ok());
+        assert!(s.ctx().check(region.id(), true, false).is_ok());
+        assert!(third.ctx().check(region.id(), false, false).is_err());
+    }
+
+    #[test]
+    fn concurrent_lease_churn_conserves_chunks() {
+        let (k, c, s) = setup();
+        let arena = Arc::new(BulkArena::allocate(&k, &c, &s, "bulk", 256, 4));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let arena = Arc::clone(&arena);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(chunk) = arena.acquire(64) {
+                            std::hint::spin_loop();
+                            arena.release(chunk.index);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.free_count(), 4, "all chunks return to the stack");
+        assert_eq!(arena.busy_gauge().get(), 0);
+        let mut got: Vec<usize> = (0..4).map(|_| arena.acquire(1).unwrap().index).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

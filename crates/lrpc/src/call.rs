@@ -23,7 +23,7 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use firefly::cpu::Cpu;
+use firefly::cpu::{Cpu, Machine};
 use firefly::error::MemFault;
 use firefly::mem::{PageId, Region};
 use firefly::meter::{Meter, Phase, TraceId};
@@ -53,8 +53,11 @@ const ESTACK_ALLOC_COST: Nanos = Nanos::from_micros(10);
 
 /// Cost of mapping and unmapping a per-call out-of-band segment
 /// ("Handling unexpectedly large parameters is complicated and relatively
-/// expensive, but infrequent", Section 5.2).
-const OOB_SEGMENT_COST: Nanos = Nanos::from_micros(20);
+/// expensive, but infrequent", Section 5.2). Steady-state large calls
+/// avoid it entirely by leasing a chunk of the binding's bind-time
+/// [`crate::bulk::BulkArena`]; only the fallback path (payload over the
+/// chunk size, or arena exhausted) still pays it.
+pub const OOB_SEGMENT_COST: Nanos = Nanos::from_micros(20);
 
 /// Name of the per-class A-stack queue lock, for lock-time attribution.
 pub const ASTACK_QUEUE_LOCK: &str = "astack-queue";
@@ -172,13 +175,27 @@ fn touch_set(cpu: &Cpu, pages: impl IntoIterator<Item = PageId>, meter: &mut Met
     cpu.touch_pages(pages, meter);
 }
 
+/// Where one call's in-direction out-of-band segments travel: a chunk of
+/// the binding's bind-time bulk arena (steady state) or a freshly mapped
+/// per-call segment (fallback). Either way the bytes cross domains through
+/// a pairwise-shared region under the server's protection checks.
+struct OobTransport {
+    region: Arc<Region>,
+    base: usize,
+}
+
 /// Cleans up call resources if the path errors after acquisition.
 struct CallGuard<'a> {
     state: &'a Arc<BindingState>,
     thread: &'a Arc<Thread>,
+    machine: &'a Arc<Machine>,
     astack: Option<usize>,
     slot: Option<Arc<LinkageSlot>>,
     pool: Option<(Arc<EStackPool>, u64)>,
+    /// A leased bulk-arena chunk to return.
+    bulk_chunk: Option<usize>,
+    /// A per-call fallback segment to unmap and free.
+    oob_region: Option<Arc<Region>>,
     linkage_pushed: bool,
 }
 
@@ -193,6 +210,16 @@ impl Drop for CallGuard<'_> {
         if let Some((pool, key)) = self.pool.take() {
             pool.end_call(key);
         }
+        if let Some(chunk) = self.bulk_chunk.take() {
+            if let Some(arena) = &self.state.bulk {
+                arena.release(chunk);
+            }
+        }
+        if let Some(region) = self.oob_region.take() {
+            self.state.client.ctx().unmap(region.id());
+            self.state.server.ctx().unmap(region.id());
+            self.machine.mem().free(region.id());
+        }
         if let Some(idx) = self.astack.take() {
             self.state.astacks.release(idx);
         }
@@ -204,6 +231,8 @@ impl CallGuard<'_> {
         self.astack = None;
         self.slot = None;
         self.pool = None;
+        self.bulk_chunk = None;
+        self.oob_region = None;
         self.linkage_pushed = false;
     }
 }
@@ -350,9 +379,12 @@ pub(crate) fn lrpc_call(
     let mut guard = CallGuard {
         state: client_state,
         thread,
+        machine: &machine,
         astack: Some(astack_idx),
         slot: None,
         pool: None,
+        bulk_chunk: None,
+        oob_region: None,
         linkage_pushed: false,
     };
 
@@ -391,19 +423,43 @@ pub(crate) fn lrpc_call(
     // Oversized/complex values travel in a real out-of-band memory
     // segment, pairwise-mapped like the A-stacks, rather than in host
     // memory: write the marshaled segments into it and reread them on the
-    // server side under the server's protection context.
-    let oob_region = if oob.is_empty() {
+    // server side under the server's protection context. Steady state
+    // leases a chunk of the bind-time bulk arena (no map/unmap); the
+    // per-call segment survives as the fallback for payloads over the
+    // chunk size or an exhausted arena.
+    let oob_transport = if oob.is_empty() {
         None
     } else {
-        charge(cpu, &mut meter, Phase::Other, OOB_SEGMENT_COST);
         let total: usize = oob.iter().map(|s| s.len() + 8).sum();
-        let region = rt.kernel().map_pairwise(
-            "oob-segment",
-            &client_state.client,
-            &client_state.server,
-            total.max(8),
-        );
-        let mut off = 0usize;
+        client_state.stats.observe_bulk_bytes(total as u64);
+        // Fault injection: present the arena as exhausted, so this call
+        // exercises the real per-call fallback path.
+        let exhausted = matches!(&fault_plan, Some(plan) if plan.exhaust_bulk("call:bulk"));
+        let chunk = if exhausted {
+            None
+        } else {
+            client_state.bulk.as_ref().and_then(|a| a.acquire(total))
+        };
+        let (region, base) = match chunk {
+            Some(c) => {
+                guard.bulk_chunk = Some(c.index);
+                let arena = client_state.bulk.as_ref().expect("chunk implies arena");
+                (Arc::clone(arena.region()), c.offset)
+            }
+            None => {
+                client_state.stats.note_bulk_fallback();
+                charge(cpu, &mut meter, Phase::OobSegment, OOB_SEGMENT_COST);
+                let region = rt.kernel().map_pairwise(
+                    "oob-segment",
+                    &client_state.client,
+                    &client_state.server,
+                    total.max(8),
+                );
+                guard.oob_region = Some(Arc::clone(&region));
+                (region, 0)
+            }
+        };
+        let mut off = base;
         let mut scratch = Meter::disabled();
         for seg in &oob {
             let mut hdr = [0u8; 8];
@@ -413,7 +469,7 @@ pub(crate) fn lrpc_call(
             cpu.touch_pages(region.pages_for(off, seg.len() + 8), &mut scratch);
             off += seg.len() + 8;
         }
-        Some(region)
+        Some(OobTransport { region, base })
     };
 
     // Trap to the kernel.
@@ -545,20 +601,20 @@ pub(crate) fn lrpc_call(
     touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut meter);
     // Rebuild the out-of-band store from the shared segment, with the
     // server's protection context enforced.
-    let server_oob: OobStore = match &oob_region {
+    let server_oob: OobStore = match &oob_transport {
         None => OobStore::new(),
-        Some(region) => {
+        Some(t) => {
             server_ctx
-                .check(region.id(), false, false)
+                .check(t.region.id(), false, false)
                 .map_err(CallError::Mem)?;
             let mut segs = OobStore::new();
-            let mut off = 0usize;
+            let mut off = t.base;
             let mut scratch = Meter::disabled();
             for _ in 0..oob.len() {
-                let hdr = region.read_vec(off, 8).map_err(CallError::Mem)?;
+                let hdr = t.region.read_vec(off, 8).map_err(CallError::Mem)?;
                 let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
-                segs.push(region.read_vec(off + 8, len).map_err(CallError::Mem)?);
-                cpu.touch_pages(region.pages_for(off, len + 8), &mut scratch);
+                segs.push(t.region.read_vec(off + 8, len).map_err(CallError::Mem)?);
+                cpu.touch_pages(t.region.pages_for(off, len + 8), &mut scratch);
                 off += len + 8;
             }
             segs
@@ -582,7 +638,7 @@ pub(crate) fn lrpc_call(
     };
     if metered {
         for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
-            if p.dir.is_in() && needs_server_copy(p) {
+            if p.dir.is_in() && needs_server_copy(p, proc.def.inplace) {
                 copies.record(CopyOp::E, slot_l.size);
             }
         }
@@ -727,8 +783,14 @@ pub(crate) fn lrpc_call(
         }
     }
 
-    // Reclaim the per-call out-of-band segment.
-    if let Some(region) = &oob_region {
+    // Return the bulk-arena chunk (lock-free push) or reclaim the
+    // per-call fallback segment.
+    if let Some(idx) = guard.bulk_chunk.take() {
+        if let Some(arena) = &client_state.bulk {
+            arena.release(idx);
+        }
+    }
+    if let Some(region) = guard.oob_region.take() {
         client_state.client.ctx().unmap(region.id());
         client_state.server.ctx().unmap(region.id());
         rt.kernel().machine().mem().free(region.id());

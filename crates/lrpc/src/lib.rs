@@ -54,6 +54,7 @@
 
 pub mod astack;
 pub mod binding;
+pub mod bulk;
 pub mod call;
 pub mod error;
 pub mod estack;
@@ -65,7 +66,8 @@ pub mod typed;
 
 pub use astack::{AStackMapping, AStackPolicy, AStackSet, LinkageSlot};
 pub use binding::{Binding, BindingState, BindingStats, Clerk, Handler, Reply, ServerCtx};
-pub use call::{CallOutcome, ASTACK_QUEUE_LOCK};
+pub use bulk::{BulkArena, BulkChunk};
+pub use call::{CallOutcome, ASTACK_QUEUE_LOCK, OOB_SEGMENT_COST};
 pub use error::CallError;
 pub use estack::{EStackPool, EStackStats};
 pub use recover::{

@@ -23,6 +23,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::astack::{AStackMapping, AStackPolicy, AStackSet};
 use crate::binding::{Binding, BindingState, Clerk, Handler};
+use crate::bulk::BulkArena;
 use crate::error::CallError;
 use crate::estack::{EStackPool, DEFAULT_ESTACK_SIZE, DEFAULT_MAX_ESTACKS};
 use crate::remote::RemoteTransport;
@@ -229,6 +230,24 @@ impl LrpcRuntime {
             &per_proc,
             self.config.astack_mapping,
         );
+        // Interfaces declaring large out-of-band parameters also get their
+        // bulk arena pairwise-mapped here at bind time, so steady-state
+        // large calls never map a per-call segment.
+        let bulk = BulkArena::for_interface(
+            &self.kernel,
+            client,
+            &server,
+            &format!("bulk-arena:{name}"),
+            clerk.interface(),
+            &astacks,
+        )
+        .map(Arc::new);
+        if let Some(arena) = &bulk {
+            self.metrics.register_gauge(
+                &format!("lrpc_bulk_arena_busy:{name}"),
+                arena.busy_gauge().clone(),
+            );
+        }
         let touch = TouchPlan::allocate(&self.kernel, client, &server);
         let plans = self.compiled_plans(clerk.interface());
         let estack_pool = self.estack_pool(&server);
@@ -238,6 +257,7 @@ impl LrpcRuntime {
             server,
             clerk,
             astacks,
+            bulk,
             touch,
             plans,
             estack_pool,
@@ -250,6 +270,9 @@ impl LrpcRuntime {
         state
             .stats
             .attach_stub_ns(self.metrics.histogram(&format!("lrpc_stub_ns:{name}")));
+        state
+            .stats
+            .attach_bulk_bytes(self.metrics.histogram(&format!("lrpc_bulk_bytes:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -314,6 +337,9 @@ impl LrpcRuntime {
             proxy,
             clerk,
             astacks,
+            // Remote calls branch to the transport before the transfer
+            // path, so the proxy binding carries no bulk arena.
+            None,
             touch,
             plans,
             estack_pool,
@@ -480,20 +506,34 @@ impl LrpcRuntime {
         let mut calls = 0u64;
         let mut failures = 0u64;
         let mut remote_calls = 0u64;
+        let mut bulk_chunks_total = 0usize;
+        let mut bulk_chunks_free = 0usize;
+        let mut bulk_fallbacks = 0u64;
         self.bindings.for_each(|state| {
             astacks_total += state.astacks.total_count();
             for ci in 0..state.astacks.classes().len() {
                 astacks_free += state.astacks.free_count(ci);
                 astack_waiters += state.astacks.waiters(ci);
             }
+            if let Some(arena) = &state.bulk {
+                bulk_chunks_total += arena.chunk_count();
+                bulk_chunks_free += arena.free_count();
+            }
             calls += state.stats.calls();
             failures += state.stats.failures();
             remote_calls += state.stats.remote_calls();
+            bulk_fallbacks += state.stats.bulk_fallbacks();
         });
         let m = &self.metrics;
         m.gauge("lrpc_astacks_total").set(astacks_total as i64);
         m.gauge("lrpc_astacks_free").set(astacks_free as i64);
         m.gauge("lrpc_astack_waiters").set(astack_waiters as i64);
+        m.gauge("lrpc_bulk_chunks_total")
+            .set(bulk_chunks_total as i64);
+        m.gauge("lrpc_bulk_chunks_free")
+            .set(bulk_chunks_free as i64);
+        m.gauge("lrpc_bulk_fallbacks_total")
+            .set(bulk_fallbacks as i64);
         m.gauge("lrpc_bindings_live")
             .set(self.bindings.len() as i64);
         m.gauge("lrpc_calls_total").set(calls as i64);

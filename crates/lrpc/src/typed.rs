@@ -283,6 +283,7 @@ mod tests {
                 procedure Add(a: int32, b: int32) -> int32;
                 procedure Read(h: int32, buf: out bytes[8]) -> int32;
                 procedure Store(data: in var bytes[16] noninterpreted) -> int32;
+                procedure Walk(t: in tree);
             }"#,
             vec![
                 Box::new(|_: &ServerCtx, args: &[Value]| {
@@ -300,6 +301,7 @@ mod tests {
                     };
                     Ok(Reply::value(Value::Int32(v.len() as i32)))
                 }) as Handler,
+                Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler,
             ],
         )
         .unwrap();
@@ -324,12 +326,15 @@ mod tests {
     }
 
     #[test]
-    fn fixed_procs_report_compiled_stubs_and_variable_ones_do_not() {
+    fn fixed_and_variable_procs_report_compiled_stubs_and_complex_ones_do_not() {
         let (_rt, _thread, binding) = env();
         assert!(binding.invoke("Add").unwrap().uses_compiled_stubs());
         assert!(binding.invoke("Read").unwrap().uses_compiled_stubs());
-        // `Store` takes a variable-size parameter: interpreter fallback.
-        assert!(!binding.invoke("Store").unwrap().uses_compiled_stubs());
+        // Inline variable-size parameters lower to length-prefixed plan
+        // steps now, so `Store` compiles too.
+        assert!(binding.invoke("Store").unwrap().uses_compiled_stubs());
+        // Complex (pointer-rich) types still force the interpreter.
+        assert!(!binding.invoke("Walk").unwrap().uses_compiled_stubs());
     }
 
     #[test]

@@ -478,6 +478,83 @@ fn astack_exhaustion_respects_the_configured_policy() {
 }
 
 #[test]
+fn bulk_arena_exhaustion_falls_back_to_per_call_segments_without_leaks() {
+    // The injected exhaustion makes every large call miss the bind-time
+    // bulk arena and take the slow path: map a fresh pairwise OOB
+    // segment, pay `OOB_SEGMENT_COST`, and tear it down on return. Calls
+    // must *succeed* throughout (degraded, never broken), and the
+    // region table must end exactly where it started — a fallback that
+    // leaked its per-call segment would grow it monotonically.
+    let (rt, _chaos_server) = make_runtime(chaos_config());
+    let bulk_server = rt.kernel().create_domain("bulk-chaos-server");
+    rt.export(
+        &bulk_server,
+        "interface BulkChaos {\n\
+         procedure BigIn(data: in var bytes[65536] noninterpreted);\n\
+         }",
+        vec![Box::new(|_: &ServerCtx, args: &[Value]| {
+            let Value::Var(data) = &args[0] else {
+                unreachable!("stubs decoded the declared types")
+            };
+            assert_eq!(data.len(), 8 * 1024, "the payload crossed intact");
+            Ok(Reply::none())
+        }) as Handler],
+    )
+    .unwrap();
+    let plan = FaultPlan::new(FaultConfig {
+        bulk_exhaust: true,
+        ..FaultConfig::with_seed(9)
+    });
+    rt.set_fault_plan(Some(Arc::clone(&plan)));
+    let app = rt.kernel().create_domain("app");
+    let thread = rt.kernel().spawn_thread(&app);
+    let binding = rt.import(&app, "BulkChaos").unwrap();
+    let payload = vec![0x5au8; 8 * 1024];
+
+    // Warm up once so lazily pooled resources (the E-stack) exist before
+    // the region table is sampled.
+    binding
+        .call(0, &thread, "BigIn", &[Value::Var(payload.clone())])
+        .expect("warmup");
+
+    let regions_before = rt.kernel().machine().mem().region_count();
+    for i in 0..12 {
+        binding
+            .call(0, &thread, "BigIn", &[Value::Var(payload.clone())])
+            .unwrap_or_else(|e| panic!("fallback call {i} must still succeed: {e}"));
+    }
+    let regions_after = rt.kernel().machine().mem().region_count();
+
+    assert_eq!(
+        regions_before, regions_after,
+        "every per-call OOB segment was unmapped and freed"
+    );
+    assert_eq!(
+        binding.state().stats.bulk_fallbacks(),
+        13,
+        "every call (warmup included) took the per-call fallback"
+    );
+    assert_eq!(
+        plan.events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::BulkArenaExhausted)
+            .count(),
+        13,
+        "each fallback traces back to an injected exhaustion event"
+    );
+    assert_no_leaks(&rt, &bulk_server, &binding);
+
+    // Lifting the fault returns calls to the arena: the fallback counter
+    // stops moving.
+    rt.set_fault_plan(None);
+    binding
+        .call(0, &thread, "BigIn", &[Value::Var(payload)])
+        .expect("arena call after recovery");
+    assert_eq!(binding.state().stats.bulk_fallbacks(), 13);
+    assert_no_leaks(&rt, &bulk_server, &binding);
+}
+
+#[test]
 fn packet_faults_on_the_remote_path_are_deterministic() {
     let run = || {
         let client_machine = {

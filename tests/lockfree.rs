@@ -283,6 +283,82 @@ fn steady_state_fixed_arg_call_makes_zero_heap_allocations() {
 }
 
 #[test]
+fn steady_state_large_calls_allocate_zero_per_call_oob_regions() {
+    // The bulk-arena acceptance gate: once the binding's pairwise bulk
+    // region exists, large variable-size arguments ride arena chunks, so
+    // a steady-state burst of BigIn/BigInOut calls must create *no*
+    // per-call OOB segments — the physical-memory region table stays
+    // exactly as large as it was before the burst, and the binding
+    // records zero arena-exhaustion fallbacks.
+    //
+    // `region_count()` takes the global region-table lock, so both
+    // samples happen outside any `LockTally::scope`.
+    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(kernel, RuntimeConfig::default());
+    let server = rt.kernel().create_domain("bulk-server");
+    rt.export(
+        &server,
+        "interface Bulk {\n\
+         procedure BigIn(data: in var bytes[65536] noninterpreted);\n\
+         procedure BigInOut(data: inout var bytes[65536] noninterpreted);\n\
+         }",
+        vec![
+            Box::new(|_: &ServerCtx, _: &[Value]| Ok(Reply::none())) as Handler,
+            Box::new(|_: &ServerCtx, args: &[Value]| {
+                let Value::Var(data) = &args[0] else {
+                    unreachable!("stubs decoded the declared types")
+                };
+                Ok(Reply::none().with_out(0, Value::Var(data.clone())))
+            }) as Handler,
+        ],
+    )
+    .unwrap();
+    let client = rt.kernel().create_domain("bulk-client");
+    let binding = rt.import(&client, "Bulk").unwrap();
+    let thread = rt.kernel().spawn_thread(&client);
+    let payload = vec![0xa5u8; 8 * 1024];
+
+    // Warm up both procedures so every pooled resource exists.
+    for proc_idx in [0usize, 1] {
+        binding
+            .call_indexed(0, &thread, proc_idx, &[Value::Var(payload.clone())])
+            .expect("warmup");
+    }
+
+    let regions_before = rt.kernel().machine().mem().region_count();
+    for round in 0..16 {
+        for proc_idx in [0usize, 1] {
+            binding
+                .call_indexed(0, &thread, proc_idx, &[Value::Var(payload.clone())])
+                .unwrap_or_else(|e| panic!("round {round} proc {proc_idx}: {e}"));
+        }
+    }
+    let regions_after = rt.kernel().machine().mem().region_count();
+
+    assert_eq!(
+        regions_before, regions_after,
+        "steady-state large calls must not map per-call OOB segments \
+         ({regions_before} regions before the burst, {regions_after} after)"
+    );
+    assert_eq!(
+        binding.state().stats.bulk_fallbacks(),
+        0,
+        "no call fell back to a per-call OOB segment"
+    );
+    let bulk_observations = binding
+        .state()
+        .stats
+        .bulk_bytes()
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert!(
+        bulk_observations > 0,
+        "the burst really moved bulk payloads through the arena \
+         (zero fallbacks is not vacuous)"
+    );
+}
+
+#[test]
 fn binding_setup_does_take_global_locks() {
     // Sanity check on the instrumentation itself: export/import are the
     // *bind-time* slow path and hit the kernel tables and name server, so
