@@ -27,6 +27,7 @@ use bench::bulk;
 use bench::host_parallel;
 use bench::json::Json;
 use bench::phases;
+use bench::rr;
 use bench::stubs;
 
 const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
@@ -40,6 +41,10 @@ fn usage() -> ! {
          bench --phases [--check]\n       \
          bench --stubs [--check]\n       \
          bench --bulk [--check]\n       \
+         bench --record FILE [--scenario chaos|fig2] [--seed N] [--rcalls N]\n       \
+         bench --replay FILE [--check]\n       \
+         bench --rr-overhead [--rcalls N] [--check]\n       \
+         bench --shrink [--seed N] [--rcalls N]\n       \
          bench --validate FILE..."
     );
     std::process::exit(2);
@@ -226,6 +231,164 @@ fn run_bulk(check: bool) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Silences backtraces from chaos-injected server panics (they are
+/// caught and turned into call errors); any other panic still reaches
+/// the default hook.
+fn quiet_injected_panics() {
+    // Force the fault-plane diagnostics hook to install first, so the
+    // filter below is outermost and injected panics print nothing at
+    // all (neither backtrace nor the seed-reproduction line).
+    drop(firefly::fault::FaultPlan::new(
+        firefly::fault::FaultConfig {
+            dispatch_delay_us: 1,
+            ..firefly::fault::FaultConfig::with_seed(0)
+        },
+    ));
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected fault"))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected fault"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// Records a scenario into a replay log file.
+fn run_record(path: &str, scenario: rr::ScenarioKind, seed: u64, calls: usize) -> ExitCode {
+    quiet_injected_panics();
+    let sc = match scenario {
+        rr::ScenarioKind::Chaos => rr::Scenario::chaos(seed, calls),
+        rr::ScenarioKind::Fig2 => rr::Scenario::fig2(calls),
+    };
+    let rec = rr::record(sc);
+    let bytes = rec.log.encode();
+    if let Err(e) = std::fs::write(path, &bytes) {
+        eprintln!("bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "recorded {} (seed {}, {} calls): {} events across {} streams, {} bytes -> {path}",
+        sc.kind.name(),
+        sc.seed,
+        sc.calls,
+        rec.log.total_events(),
+        rec.log.streams.len(),
+        bytes.len()
+    );
+    println!(
+        "  ok {} / err {} / fault events {} / vtime {} ns",
+        rec.artifacts.ok, rec.artifacts.err, rec.artifacts.fault_events, rec.artifacts.vtime_ns
+    );
+    ExitCode::SUCCESS
+}
+
+/// Replays a log file; with `check`, exit code reflects byte-identity.
+fn run_replay(path: &str, check: bool) -> ExitCode {
+    quiet_injected_panics();
+    let log = match replay::RecordLog::read_from(std::path::Path::new(path)) {
+        Ok(Ok(log)) => log,
+        Ok(Err(e)) => {
+            eprintln!("bench: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match rr::replay(&log) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replayed {} ({} events): ok {} / err {} / vtime {} ns",
+        path,
+        log.total_events(),
+        report.artifacts.ok,
+        report.artifacts.err,
+        report.artifacts.vtime_ns
+    );
+    if let Some(d) = &report.divergence {
+        println!("  DIVERGED: {d}");
+    }
+    if report.unconsumed > 0 {
+        println!(
+            "  {} logged decisions were never consumed",
+            report.unconsumed
+        );
+    }
+    for m in &report.mismatches {
+        println!("  artifact mismatch: {m}");
+    }
+    if report.is_identical() {
+        println!("  verdict: byte-identical to the recording");
+        ExitCode::SUCCESS
+    } else if check {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Measures live-vs-record host overhead; with `check`, gate at 10%.
+fn run_rr_overhead(calls: usize, check: bool) -> ExitCode {
+    let r = rr::measure_overhead(calls);
+    println!(
+        "record/replay overhead over {} serial Null calls:\n  \
+         live   {:.1} ns/call\n  record {:.1} ns/call ({} decision events)\n  \
+         overhead {:.2}% (gate {:.0}%)",
+        r.calls,
+        r.live_ns_per_call,
+        r.record_ns_per_call,
+        r.events,
+        r.overhead * 100.0,
+        rr::MAX_RECORD_OVERHEAD * 100.0
+    );
+    if check && !r.passes() {
+        eprintln!("bench: recording overhead gate failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Shrinks the built-in failing chaos schedule for `seed`.
+fn run_shrink(seed: u64, calls: usize) -> ExitCode {
+    quiet_injected_panics();
+    let initial = rr::chaos_fault_config(seed);
+    println!("shrinking chaos seed {seed}, {calls} calls, initial {initial:?}");
+    match rr::shrink_chaos(seed, &initial, calls, &rr::client_saw_errors) {
+        Some(outcome) => {
+            println!(
+                "minimized to {} calls after {} probe runs:\n  {:?}\n  \
+                 replay-verified: {}",
+                outcome.calls, outcome.steps, outcome.config, outcome.replay_verified
+            );
+            if outcome.replay_verified {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("bench: minimized run failed replay verification");
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            eprintln!("bench: the initial schedule does not fail; nothing to shrink");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run(calls_per_thread: usize, max_threads: usize) -> ExitCode {
@@ -485,6 +648,96 @@ fn main() -> ExitCode {
                     _ => usage(),
                 };
                 return run_bulk(check);
+            }
+            "--record" => {
+                let path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                let mut scenario = rr::ScenarioKind::Chaos;
+                let mut seed = 1234u64;
+                let mut calls = 120usize;
+                let mut j = i + 2;
+                while j < args.len() {
+                    match args[j].as_str() {
+                        "--scenario" => {
+                            j += 1;
+                            scenario = args
+                                .get(j)
+                                .and_then(|v| rr::ScenarioKind::parse(v))
+                                .unwrap_or_else(|| usage());
+                        }
+                        "--seed" => {
+                            j += 1;
+                            seed = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        "--rcalls" => {
+                            j += 1;
+                            calls = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        _ => usage(),
+                    }
+                    j += 1;
+                }
+                return run_record(&path, scenario, seed, calls);
+            }
+            "--replay" => {
+                let path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                let check = match &args[i + 2..] {
+                    [] => false,
+                    [flag] if flag == "--check" => true,
+                    _ => usage(),
+                };
+                return run_replay(&path, check);
+            }
+            "--rr-overhead" => {
+                let mut calls = 5_000usize;
+                let mut check = false;
+                let mut j = i + 1;
+                while j < args.len() {
+                    match args[j].as_str() {
+                        "--check" => check = true,
+                        "--rcalls" => {
+                            j += 1;
+                            calls = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        _ => usage(),
+                    }
+                    j += 1;
+                }
+                return run_rr_overhead(calls, check);
+            }
+            "--shrink" => {
+                let mut seed = 1234u64;
+                let mut calls = 120usize;
+                let mut j = i + 1;
+                while j < args.len() {
+                    match args[j].as_str() {
+                        "--seed" => {
+                            j += 1;
+                            seed = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        "--rcalls" => {
+                            j += 1;
+                            calls = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        _ => usage(),
+                    }
+                    j += 1;
+                }
+                return run_shrink(seed, calls);
             }
             "--validate" => {
                 let rest = &args[i + 1..];

@@ -208,6 +208,17 @@ impl MsgEnv {
     }
 }
 
+/// Serializes users of the process-wide flight recorder. Anything that
+/// toggles [`obs::flight`] or captures spans by trace-id watermark (the
+/// phase experiments, the record/replay drivers, their tests) holds this
+/// lock for the whole toggle-run-snapshot window, so parallel tests can
+/// neither interleave captures nor steal trace ids inside another
+/// capture's watermark range.
+pub fn flight_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Formats a simple aligned text table.
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

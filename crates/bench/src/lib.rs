@@ -13,4 +13,5 @@ pub mod experiments;
 pub mod host_parallel;
 pub mod json;
 pub mod phases;
+pub mod rr;
 pub mod stubs;

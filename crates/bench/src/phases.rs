@@ -286,12 +286,11 @@ mod tests {
     use super::*;
     use firefly::meter::TraceId;
 
-    /// Serializes tests that toggle the process-wide flight recorder.
-    static FLIGHT_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use crate::common::flight_lock;
 
     #[test]
     fn flight_reproduces_table5_within_one_percent() {
-        let _serial = FLIGHT_TOGGLE.lock().unwrap();
+        let _serial = flight_lock();
         let t = run_null_flight();
         assert!(t.span_count > 0, "the call emitted no flight spans");
         assert!(
@@ -316,7 +315,7 @@ mod tests {
 
     #[test]
     fn recorder_adds_no_virtual_time() {
-        let _serial = FLIGHT_TOGGLE.lock().unwrap();
+        let _serial = flight_lock();
         let t = run_null_flight();
         assert_eq!(
             t.elapsed_recorded, t.elapsed_baseline,
@@ -362,7 +361,7 @@ mod tests {
 
     #[test]
     fn json_embedding_round_trips() {
-        let _serial = FLIGHT_TOGGLE.lock().unwrap();
+        let _serial = flight_lock();
         let t = run_null_flight();
         let doc = to_json(&t);
         let parsed = Json::parse(&doc.pretty()).unwrap();

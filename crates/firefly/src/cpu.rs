@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -36,6 +36,10 @@ pub struct Cpu {
     /// bare atomic so the idle-processor probe on the call fast path is a
     /// single compare-exchange, never a lock.
     idle_in: AtomicU64,
+    /// Record/replay stream for this CPU's virtual-clock advances
+    /// (`clock:cpu{id}`). Empty in live mode, so the steady path pays one
+    /// `OnceLock::get` (a plain load) and nothing else.
+    rr: OnceLock<replay::Handle>,
 }
 
 /// Sentinel for "not idling". Context ids are allocated from a counter
@@ -50,6 +54,7 @@ impl Cpu {
             tlb: Mutex::new(Tlb::new(tlb_mode, 256)),
             current_ctx: AtomicU64::new(ContextId::KERNEL.0),
             idle_in: AtomicU64::new(NO_IDLE_CTX),
+            rr: OnceLock::new(),
         }
     }
 
@@ -66,12 +71,18 @@ impl Cpu {
     /// Advances the virtual clock by `dur`.
     pub fn charge(&self, dur: Nanos) {
         self.vclock.fetch_add(dur.as_nanos(), Ordering::AcqRel);
+        if let Some(h) = self.rr.get() {
+            h.emit(replay::kind::CLOCK_CHARGE, dur.as_nanos());
+        }
     }
 
     /// Advances the virtual clock to at least `t` (used when a thread
     /// migrates to this CPU or waits for a resource freed at `t`).
     pub fn advance_to(&self, t: Nanos) {
         self.vclock.fetch_max(t.as_nanos(), Ordering::AcqRel);
+        if let Some(h) = self.rr.get() {
+            h.emit(replay::kind::CLOCK_ADVANCE, t.as_nanos());
+        }
     }
 
     /// Resets the clock to zero (between experiments).
@@ -189,6 +200,11 @@ pub struct Machine {
     mem: PhysMem,
     next_ctx: AtomicU64,
     contexts: Mutex<HashMap<ContextId, Arc<VmContext>>>,
+    /// Record/replay session attached to this machine (never set in live
+    /// mode; see [`Machine::attach_replay`]).
+    rr_session: OnceLock<Arc<replay::Session>>,
+    /// Stream for idle-CPU claim outcomes (`sched:idle-claim`).
+    rr_claim: OnceLock<replay::Handle>,
 }
 
 impl Machine {
@@ -212,7 +228,30 @@ impl Machine {
             mem: PhysMem::new(),
             next_ctx: AtomicU64::new(1),
             contexts: Mutex::new(contexts),
+            rr_session: OnceLock::new(),
+            rr_claim: OnceLock::new(),
         })
+    }
+
+    /// Attaches a record/replay session: every CPU's clock advances and
+    /// every idle-claim outcome flow through the session's streams from
+    /// now on. A live session is not attached at all (the `OnceLock`s
+    /// stay empty and the hot path stays untouched); a second attach is
+    /// ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() || self.rr_session.get().is_some() {
+            return;
+        }
+        let _ = self.rr_session.set(Arc::clone(session));
+        for cpu in &self.cpus {
+            let _ = cpu.rr.set(session.stream(&format!("clock:cpu{}", cpu.id)));
+        }
+        let _ = self.rr_claim.set(session.stream("sched:idle-claim"));
+    }
+
+    /// The attached record/replay session, if any.
+    pub fn replay_session(&self) -> Option<&Arc<replay::Session>> {
+        self.rr_session.get()
     }
 
     /// A convenient single-CPU C-VAX Firefly.
@@ -325,10 +364,18 @@ impl Machine {
     /// Finds and claims a CPU idling in `ctx`, if any (the idle-processor
     /// optimization's probe). Returns the claimed CPU's index.
     pub fn claim_idle_cpu_in(&self, ctx: ContextId) -> Option<usize> {
-        self.cpus
+        let claimed = self
+            .cpus
             .iter()
             .find(|c| c.try_claim_idle(ctx))
-            .map(|c| c.id())
+            .map(|c| c.id());
+        if let Some(h) = self.rr_claim.get() {
+            h.emit(
+                replay::kind::IDLE_CLAIM,
+                claimed.map_or(0, |i| i as u64 + 1),
+            );
+        }
+        claimed
     }
 
     /// Resets all CPU clocks and TLB statistics (between experiments).

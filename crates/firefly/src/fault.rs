@@ -19,7 +19,7 @@
 
 use core::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -177,6 +177,26 @@ pub struct DispatchFault {
     pub panic: bool,
 }
 
+impl DispatchFault {
+    /// Packs the decision into one replay-log payload word.
+    fn pack(&self) -> u64 {
+        (self.delay_us << 3)
+            | (u64::from(self.terminate_server) << 2)
+            | (u64::from(self.hang) << 1)
+            | u64::from(self.panic)
+    }
+
+    /// Inverse of [`DispatchFault::pack`].
+    fn unpack(payload: u64) -> DispatchFault {
+        DispatchFault {
+            delay_us: payload >> 3,
+            terminate_server: payload & 0b100 != 0,
+            hang: payload & 0b010 != 0,
+            panic: payload & 0b001 != 0,
+        }
+    }
+}
+
 /// What the plan decided for one packet transmission.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PacketFate {
@@ -188,6 +208,28 @@ pub struct PacketFate {
     pub duplicated: bool,
     /// Extra in-flight delay, microseconds.
     pub delay_us: u64,
+}
+
+impl PacketFate {
+    /// Packs the decision into one replay-log payload word
+    /// (retransmissions fit in 6 bits: they are capped at
+    /// [`MAX_RETRANSMISSIONS`]).
+    fn pack(&self) -> u64 {
+        u64::from(self.retransmissions & 0x3F)
+            | (u64::from(self.lost_forever) << 6)
+            | (u64::from(self.duplicated) << 7)
+            | (self.delay_us << 8)
+    }
+
+    /// Inverse of [`PacketFate::pack`].
+    fn unpack(payload: u64) -> PacketFate {
+        PacketFate {
+            retransmissions: (payload & 0x3F) as u32,
+            lost_forever: payload & 0x40 != 0,
+            duplicated: payload & 0x80 != 0,
+            delay_us: payload >> 8,
+        }
+    }
 }
 
 /// SplitMix64 — the tiny, well-distributed generator used for every
@@ -236,11 +278,21 @@ pub struct FaultPlan {
     calls: AtomicU64,
     terminated: AtomicBool,
     gate: HangGate,
+    /// Record/replay session: when set (non-live), every decision this
+    /// plan makes flows through a per-site `fault:{site}` stream —
+    /// recorded outcomes in record mode, log-answered outcomes in replay
+    /// mode (the plan's own RNG and counters are not consulted at all).
+    rr: OnceLock<Arc<replay::Session>>,
+    /// Cached stream handles, keyed by site name.
+    rr_handles: Mutex<std::collections::HashMap<String, replay::Handle>>,
 }
 
 impl FaultPlan {
     /// Builds a plan from a config.
     pub fn new(config: FaultConfig) -> Arc<FaultPlan> {
+        if !config.is_quiescent() {
+            note_active_config(&config);
+        }
         Arc::new(FaultPlan {
             config,
             sites: Mutex::new(std::collections::HashMap::new()),
@@ -252,6 +304,32 @@ impl FaultPlan {
                 released: Mutex::new(false),
                 cond: Condvar::new(),
             },
+            rr: OnceLock::new(),
+            rr_handles: Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// Attaches a record/replay session. Live sessions are ignored (the
+    /// plan keeps deciding from its own seeded streams with zero
+    /// overhead); a second attach is ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() {
+            return;
+        }
+        let _ = self.rr.set(Arc::clone(session));
+    }
+
+    /// The cached `fault:{site}` stream handle, if a session is attached.
+    fn rr_handle(&self, site: &str) -> Option<replay::Handle> {
+        let session = self.rr.get()?;
+        let mut handles = self.rr_handles.lock();
+        Some(match handles.get(site) {
+            Some(h) => h.clone(),
+            None => {
+                let h = session.stream(&format!("fault:{site}"));
+                handles.insert(site.to_string(), h.clone());
+                h
+            }
         })
     }
 
@@ -294,9 +372,41 @@ impl FaultPlan {
     /// injected faults. Counters advance even when nothing fires, so the
     /// Nth dispatch is the Nth dispatch regardless of other knobs.
     pub fn dispatch_fault(&self, site: &str) -> DispatchFault {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_DISPATCH) {
+                let fault = DispatchFault::unpack(payload);
+                self.record_dispatch(site, &fault);
+                return fault;
+            }
+            let fault = self.dispatch_fault_live(site);
+            h.emit(replay::kind::FAULT_DISPATCH, fault.pack());
+            return fault;
+        }
         if self.config.is_quiescent() {
             return DispatchFault::default();
         }
+        self.dispatch_fault_live(site)
+    }
+
+    /// Appends the event-log entries a replayed dispatch decision implies,
+    /// in the same order the live path records them.
+    fn record_dispatch(&self, site: &str, fault: &DispatchFault) {
+        if fault.delay_us > 0 {
+            self.record(site, FaultKind::DispatchDelayed { us: fault.delay_us });
+        }
+        if fault.terminate_server {
+            self.terminated.store(true, Ordering::Release);
+            self.record(site, FaultKind::ServerTerminated);
+        }
+        if fault.hang {
+            self.record(site, FaultKind::ServerHang);
+        }
+        if fault.panic {
+            self.record(site, FaultKind::ServerPanic);
+        }
+    }
+
+    fn dispatch_fault_live(&self, site: &str) -> DispatchFault {
         let n = self.dispatches.fetch_add(1, Ordering::Relaxed) + 1;
         let mut fault = DispatchFault {
             delay_us: self.config.dispatch_delay_us,
@@ -329,12 +439,49 @@ impl FaultPlan {
     /// Decides the fate of one packet transmission at `site` and records
     /// any injected faults.
     pub fn packet_fate(&self, site: &str) -> PacketFate {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_PACKET) {
+                let fate = PacketFate::unpack(payload);
+                self.record_packet(site, &fate);
+                return fate;
+            }
+            let fate = self.packet_fate_live(site);
+            h.emit(replay::kind::FAULT_PACKET, fate.pack());
+            return fate;
+        }
         if self.config.packet_loss == 0.0
             && self.config.packet_dup == 0.0
             && self.config.packet_delay_prob == 0.0
         {
             return PacketFate::default();
         }
+        self.packet_fate_live(site)
+    }
+
+    /// Appends the event-log entries a replayed packet decision implies,
+    /// in the same order the live path records them.
+    fn record_packet(&self, site: &str, fate: &PacketFate) {
+        if fate.lost_forever {
+            self.record(site, FaultKind::PacketLost);
+            return;
+        }
+        if fate.retransmissions > 0 {
+            self.record(
+                site,
+                FaultKind::PacketRetransmitted {
+                    retransmissions: fate.retransmissions,
+                },
+            );
+        }
+        if fate.duplicated {
+            self.record(site, FaultKind::PacketDuplicated);
+        }
+        if fate.delay_us > 0 {
+            self.record(site, FaultKind::PacketDelayed { us: fate.delay_us });
+        }
+    }
+
+    fn packet_fate_live(&self, site: &str) -> PacketFate {
         let mut fate = PacketFate::default();
         while self.roll(site, self.config.packet_loss) {
             fate.retransmissions += 1;
@@ -366,6 +513,24 @@ impl FaultPlan {
     /// True if this call (plan-global counter) should present a forged
     /// Binding Object. Records the event when it fires.
     pub fn forge_binding(&self, site: &str) -> bool {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_FORGE) {
+                if payload != 0 {
+                    self.record(site, FaultKind::BindingForged);
+                }
+                return payload != 0;
+            }
+            let fire = self.forge_binding_live(site);
+            h.emit(replay::kind::FAULT_FORGE, u64::from(fire));
+            return fire;
+        }
+        if self.config.forge_binding_every == 0 {
+            return false;
+        }
+        self.forge_binding_live(site)
+    }
+
+    fn forge_binding_live(&self, site: &str) -> bool {
         if self.config.forge_binding_every == 0 {
             return false;
         }
@@ -380,6 +545,20 @@ impl FaultPlan {
     /// True if the A-stack free list should be drained before this
     /// acquire. Records the event when it fires.
     pub fn exhaust_astacks(&self, site: &str) -> bool {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_EXHAUST_ASTACKS) {
+                if payload != 0 {
+                    self.record(site, FaultKind::AStacksExhausted);
+                }
+                return payload != 0;
+            }
+            let fire = self.config.astack_exhaust;
+            if fire {
+                self.record(site, FaultKind::AStacksExhausted);
+            }
+            h.emit(replay::kind::FAULT_EXHAUST_ASTACKS, u64::from(fire));
+            return fire;
+        }
         if self.config.astack_exhaust {
             self.record(site, FaultKind::AStacksExhausted);
         }
@@ -390,6 +569,20 @@ impl FaultPlan {
     /// large call, forcing the per-call out-of-band fallback segment.
     /// Records the event when it fires.
     pub fn exhaust_bulk(&self, site: &str) -> bool {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_EXHAUST_BULK) {
+                if payload != 0 {
+                    self.record(site, FaultKind::BulkArenaExhausted);
+                }
+                return payload != 0;
+            }
+            let fire = self.config.bulk_exhaust;
+            if fire {
+                self.record(site, FaultKind::BulkArenaExhausted);
+            }
+            h.emit(replay::kind::FAULT_EXHAUST_BULK, u64::from(fire));
+            return fire;
+        }
         if self.config.bulk_exhaust {
             self.record(site, FaultKind::BulkArenaExhausted);
         }
@@ -442,6 +635,48 @@ impl FaultPlan {
             }
         }
         h
+    }
+}
+
+/// The most recently constructed non-quiescent fault config, kept so a
+/// panic anywhere in the process can name the seed that provoked it.
+static ACTIVE_CONFIG: Mutex<Option<FaultConfig>> = Mutex::new(None);
+static PANIC_HOOK: Once = Once::new();
+
+/// Remembers `config` as the active fault plan and makes sure the
+/// diagnostics panic hook is installed. Called from [`FaultPlan::new`]
+/// for every non-quiescent config, so any chaos/proptest failure prints
+/// the seed and knobs needed to reproduce it — no log archaeology.
+fn note_active_config(config: &FaultConfig) {
+    *ACTIVE_CONFIG.lock() = Some(config.clone());
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            if let Some(line) = active_fault_diagnostics() {
+                eprintln!("{line}");
+            }
+        }));
+    });
+}
+
+/// One reproduction line describing the active fault plan, if any
+/// non-quiescent plan has been constructed in this process. This is what
+/// the panic hook prints; tests can call it directly.
+pub fn active_fault_diagnostics() -> Option<String> {
+    // try_lock: a panic hook must never block, even if the panic fired
+    // while the config lock was held.
+    let config = ACTIVE_CONFIG.try_lock()?.clone()?;
+    Some(config.diagnostics_line())
+}
+
+impl FaultConfig {
+    /// The reproduction line the panic hook prints for this config.
+    pub fn diagnostics_line(&self) -> String {
+        format!(
+            "fault-plan active: seed={} {:?} — rebuild this FaultConfig to reproduce",
+            self.seed, self
+        )
     }
 }
 
@@ -601,6 +836,126 @@ mod tests {
         assert_eq!(
             FaultPlan::retransmission_cost(&fate, Nanos::from_micros(1250)),
             Nanos::from_micros(2600)
+        );
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let d = DispatchFault {
+            delay_us: 12345,
+            terminate_server: true,
+            hang: false,
+            panic: true,
+        };
+        assert_eq!(DispatchFault::unpack(d.pack()), d);
+        let p = PacketFate {
+            retransmissions: 3,
+            lost_forever: false,
+            duplicated: true,
+            delay_us: 777,
+        };
+        assert_eq!(PacketFate::unpack(p.pack()), p);
+    }
+
+    #[test]
+    fn recorded_decisions_replay_identically_under_a_different_config() {
+        let config = FaultConfig {
+            seed: 11,
+            packet_loss: 0.4,
+            packet_dup: 0.2,
+            packet_delay_prob: 0.2,
+            packet_delay_us: 30,
+            server_panic_every: 3,
+            forge_binding_every: 4,
+            dispatch_delay_us: 2,
+            ..FaultConfig::default()
+        };
+        let session = replay::Session::recorder();
+        let plan = FaultPlan::new(config);
+        plan.attach_replay(&session);
+        let fates: Vec<PacketFate> = (0..40).map(|_| plan.packet_fate("net")).collect();
+        let dispatches: Vec<DispatchFault> =
+            (0..12).map(|_| plan.dispatch_fault("dispatch")).collect();
+        let forges: Vec<bool> = (0..12).map(|_| plan.forge_binding("call")).collect();
+        let log = session.finish();
+
+        // Replay answers every decision from the log: a default (all-zero)
+        // config reproduces the exact fates, events and digest.
+        let replayer = replay::Session::replayer(&log);
+        let replan = FaultPlan::new(FaultConfig::default());
+        replan.attach_replay(&replayer);
+        let refates: Vec<PacketFate> = (0..40).map(|_| replan.packet_fate("net")).collect();
+        let redispatches: Vec<DispatchFault> =
+            (0..12).map(|_| replan.dispatch_fault("dispatch")).collect();
+        let reforges: Vec<bool> = (0..12).map(|_| replan.forge_binding("call")).collect();
+        assert_eq!(fates, refates);
+        assert_eq!(dispatches, redispatches);
+        assert_eq!(forges, reforges);
+        assert_eq!(plan.events(), replan.events());
+        assert_eq!(plan.digest(), replan.digest());
+        assert!(replayer.divergence().is_none());
+        assert_eq!(replayer.unconsumed(), 0);
+    }
+
+    #[test]
+    fn replay_detects_an_extra_decision() {
+        let session = replay::Session::recorder();
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            server_panic_every: 2,
+            ..FaultConfig::default()
+        });
+        plan.attach_replay(&session);
+        plan.dispatch_fault("dispatch");
+        plan.dispatch_fault("dispatch");
+        let log = session.finish();
+
+        let replayer = replay::Session::replayer(&log);
+        let replan = FaultPlan::new(FaultConfig::default());
+        replan.attach_replay(&replayer);
+        replan.dispatch_fault("dispatch");
+        replan.dispatch_fault("dispatch");
+        replan.dispatch_fault("dispatch"); // one more than recorded
+        let d = replayer.divergence().expect("extra decision diverges");
+        assert_eq!(d.site, "fault:dispatch");
+        assert_eq!(d.seq, 2);
+        assert!(d.expected.is_none(), "stream exhausted");
+    }
+
+    #[test]
+    fn quiescent_recording_still_logs_default_decisions() {
+        // A quiescent config short-circuits live, but under a recorder it
+        // must still emit one event per decision so the replay cursor
+        // stays aligned with the recorded stream.
+        let session = replay::Session::recorder();
+        let plan = FaultPlan::new(FaultConfig::default());
+        plan.attach_replay(&session);
+        assert_eq!(plan.dispatch_fault("d"), DispatchFault::default());
+        assert_eq!(plan.packet_fate("n"), PacketFate::default());
+        assert!(!plan.forge_binding("c"));
+        let log = session.finish();
+        assert_eq!(log.total_events(), 3);
+        assert_eq!(plan.event_count(), 0, "no faults were injected");
+    }
+
+    #[test]
+    fn active_diagnostics_name_the_seed() {
+        let config = FaultConfig {
+            seed: 424_242,
+            server_panic_every: 9,
+            ..FaultConfig::default()
+        };
+        let line = config.diagnostics_line();
+        assert!(line.contains("seed=424242"), "got: {line}");
+        assert!(line.contains("server_panic_every: 9"), "got: {line}");
+        // Constructing the plan registers it globally for the panic hook.
+        // (Parallel tests race on the one global slot, so only presence
+        // and shape are asserted here, not the exact seed.)
+        let _plan = FaultPlan::new(config);
+        let active = active_fault_diagnostics().expect("non-quiescent plan registered");
+        assert!(
+            active.starts_with("fault-plan active: seed="),
+            "got: {active}"
         );
     }
 

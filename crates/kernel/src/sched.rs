@@ -41,6 +41,12 @@ pub fn prod_idle_processors(machine: &Machine, domains: &[Arc<Domain>]) -> Vec<u
         return assigned;
     }
 
+    // Scheduler picks are recorded decisions: one event per (cpu, domain)
+    // assignment, in assignment order.
+    let rr = machine
+        .replay_session()
+        .map(|session| session.stream("sched:prod"));
+
     // Round-robin the idle CPUs over the ranked domains, highest first.
     for (k, cpu_id) in idle_cpus.iter().enumerate() {
         let (dom_idx, _) = ranked[k % ranked.len()];
@@ -48,6 +54,12 @@ pub fn prod_idle_processors(machine: &Machine, domains: &[Arc<Domain>]) -> Vec<u
             .cpu(*cpu_id)
             .set_idle_in(Some(domains[dom_idx].ctx().id()));
         assigned[dom_idx] += 1;
+        if let Some(h) = &rr {
+            h.emit(
+                replay::kind::SCHED_ASSIGN,
+                (domains[dom_idx].id().0 << 16) | *cpu_id as u64,
+            );
+        }
     }
 
     for d in domains {

@@ -31,7 +31,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use firefly::mem::Region;
@@ -289,6 +289,12 @@ pub struct AStackSet {
     linkages: Vec<Arc<LinkageSlot>>,
     overflow: Mutex<Vec<OverflowEntry>>,
     primary_total: usize,
+    /// Bind-time label (also names the primary region); keys this set's
+    /// record/replay stream.
+    label: String,
+    /// Record/replay stream for acquire outcomes (`astack:{label}`).
+    /// Empty in live mode — the lock-free fast path stays lock-free.
+    rr: OnceLock<replay::Handle>,
 }
 
 impl AStackSet {
@@ -393,7 +399,21 @@ impl AStackSet {
             linkages,
             overflow: Mutex::new(Vec::new()),
             primary_total,
+            label: label.to_string(),
+            rr: OnceLock::new(),
         }
+    }
+
+    /// Attaches a record/replay session: every acquire outcome (index,
+    /// overflow flag, or failure) flows through the `astack:{label}`
+    /// stream. Live sessions are ignored; a second attach is ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() {
+            return;
+        }
+        let _ = self
+            .rr
+            .set(session.stream(&format!("astack:{}", self.label)));
     }
 
     /// The size class used by procedure `proc_index`.
@@ -454,6 +474,28 @@ impl AStackSet {
     /// `grow` allocations need the kernel and the two domains to map the
     /// new overflow region pairwise.
     pub fn acquire(
+        &self,
+        class: usize,
+        policy: AStackPolicy,
+        kernel: &Kernel,
+        client: &Domain,
+        server: &Domain,
+    ) -> Result<usize, CallError> {
+        let result = self.acquire_inner(class, policy, kernel, client, server);
+        if let Some(h) = self.rr.get() {
+            // The acquire outcome is the nondeterministic part: which
+            // index the lock-free CAS race produced (or that the overflow
+            // side list was hit), or that the class was exhausted.
+            let payload = match &result {
+                Ok(idx) => ((*idx as u64 + 1) << 1) | u64::from(*idx >= self.primary_total),
+                Err(_) => 0,
+            };
+            h.emit(replay::kind::ASTACK_ACQUIRE, payload);
+        }
+        result
+    }
+
+    fn acquire_inner(
         &self,
         class: usize,
         policy: AStackPolicy,

@@ -20,7 +20,7 @@
 //! stays fully functional.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use firefly::mem::{Region, PAGE_SIZE};
 use idl::layout::{SlotKind, OOB_DESCRIPTOR_SIZE};
@@ -127,6 +127,10 @@ pub struct BulkArena {
     /// Chunks currently leased to in-flight calls; registered by the
     /// runtime as `lrpc_bulk_arena_busy:{interface}`.
     busy: obs::Gauge,
+    /// Bind-time label; keys this arena's record/replay stream.
+    label: String,
+    /// Record/replay stream for chunk acquire outcomes (`bulk:{label}`).
+    rr: OnceLock<replay::Handle>,
 }
 
 /// Largest encoded size a type can occupy in an out-of-band segment, or
@@ -214,13 +218,38 @@ impl BulkArena {
             free,
             links,
             busy: obs::Gauge::new(),
+            label: label.to_string(),
+            rr: OnceLock::new(),
         }
+    }
+
+    /// Attaches a record/replay session: every chunk acquire outcome
+    /// (index or fallback) flows through the `bulk:{label}` stream. Live
+    /// sessions are ignored; a second attach is ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() {
+            return;
+        }
+        let _ = self.rr.set(session.stream(&format!("bulk:{}", self.label)));
     }
 
     /// Leases a chunk able to hold `need` bytes. `None` when the payload
     /// exceeds the chunk size or every chunk is in flight — the caller
     /// falls back to a per-call segment.
     pub fn acquire(&self, need: usize) -> Option<BulkChunk> {
+        let chunk = self.acquire_inner(need);
+        if let Some(h) = self.rr.get() {
+            // Which chunk the lock-free pop produced — or that the call
+            // fell back to a per-call segment — is the recorded decision.
+            h.emit(
+                replay::kind::BULK_ACQUIRE,
+                chunk.as_ref().map_or(0, |c| c.index as u64 + 1),
+            );
+        }
+        chunk
+    }
+
+    fn acquire_inner(&self, need: usize) -> Option<BulkChunk> {
         if need > self.chunk_size {
             return None;
         }

@@ -10,7 +10,7 @@
 //! A-stacks that have not been recently used."
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use firefly::mem::Region;
 use firefly::vm::Protection;
@@ -63,6 +63,9 @@ pub struct EStackPool {
     /// agrees with [`EStackPool::busy_count`] once calls quiesce. The
     /// runtime adopts it into its registry when the pool is created.
     busy: obs::Gauge,
+    /// Record/replay stream for association outcomes
+    /// (`estack:{server name}`).
+    rr: OnceLock<replay::Handle>,
 }
 
 /// Usage statistics (for the lazy-vs-static ablation).
@@ -98,7 +101,21 @@ impl EStackPool {
                 reclamations: 0,
             }),
             busy: obs::Gauge::new(),
+            rr: OnceLock::new(),
         }
+    }
+
+    /// Attaches a record/replay session: every association outcome (which
+    /// A-stack key resolved, and whether a fresh allocation was needed)
+    /// flows through the `estack:{server}` stream. Live sessions are
+    /// ignored; a second attach is ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() {
+            return;
+        }
+        let _ = self
+            .rr
+            .set(session.stream(&format!("estack:{}", self.server.name())));
     }
 
     /// The live "E-stacks in a call right now" gauge (a cheap clone of it
@@ -112,6 +129,19 @@ impl EStackPool {
     /// association rules. Returns the E-stack and whether a fresh
     /// allocation was needed (the slow path).
     pub fn get_for_call(&self, kernel: &Kernel, astack_key: u64) -> (Arc<Region>, bool) {
+        let (estack, fresh) = self.get_for_call_inner(kernel, astack_key);
+        if let Some(h) = self.rr.get() {
+            // Which A-stack asked and whether the association missed (a
+            // fresh allocation) is the order-sensitive outcome here.
+            h.emit(
+                replay::kind::ESTACK_GET,
+                (astack_key << 1) | u64::from(fresh),
+            );
+        }
+        (estack, fresh)
+    }
+
+    fn get_for_call_inner(&self, kernel: &Kernel, astack_key: u64) -> (Arc<Region>, bool) {
         firefly::meter::note_sharded_lock();
         let mut inner = self.inner.lock();
         inner.tick += 1;

@@ -99,6 +99,11 @@ pub struct LrpcRuntime {
     /// Plan-cache hit/miss counters (`stub_plan_cache_{hit,miss}`).
     plan_hits: obs::Counter,
     plan_misses: obs::Counter,
+    /// The record/replay session every nondeterministic decision reports
+    /// to. Live sessions record nothing and answer nothing — components
+    /// skip attaching entirely, so the call path pays only a dead
+    /// `OnceLock` load.
+    rr: Arc<replay::Session>,
 }
 
 impl LrpcRuntime {
@@ -109,6 +114,25 @@ impl LrpcRuntime {
 
     /// Creates a runtime with explicit configuration.
     pub fn with_config(kernel: Arc<Kernel>, config: RuntimeConfig) -> Arc<LrpcRuntime> {
+        LrpcRuntime::with_session(kernel, config, replay::Session::live())
+    }
+
+    /// Creates a runtime with an explicit record/replay session.
+    ///
+    /// A `Record` session captures every nondeterministic decision the
+    /// runtime and the simulated machine make (clock charges, scheduler
+    /// picks, fault draws, stack-allocation outcomes); a `Replay` session
+    /// answers fault draws from a prior log and checks everything else
+    /// against it. Pass [`replay::Session::live`] (what [`with_config`]
+    /// does) for normal operation.
+    ///
+    /// [`with_config`]: LrpcRuntime::with_config
+    pub fn with_session(
+        kernel: Arc<Kernel>,
+        config: RuntimeConfig,
+        session: Arc<replay::Session>,
+    ) -> Arc<LrpcRuntime> {
+        kernel.machine().attach_replay(&session);
         let metrics = Arc::new(obs::Registry::new());
         let plan_hits = metrics.counter("stub_plan_cache_hit");
         let plan_misses = metrics.counter("stub_plan_cache_miss");
@@ -126,7 +150,13 @@ impl LrpcRuntime {
             plan_cache: Mutex::new(HashMap::new()),
             plan_hits,
             plan_misses,
+            rr: session,
         })
+    }
+
+    /// The runtime's record/replay session.
+    pub fn replay_session(&self) -> &Arc<replay::Session> {
+        &self.rr
     }
 
     /// The kernel.
@@ -230,6 +260,7 @@ impl LrpcRuntime {
             &per_proc,
             self.config.astack_mapping,
         );
+        astacks.attach_replay(&self.rr);
         // Interfaces declaring large out-of-band parameters also get their
         // bulk arena pairwise-mapped here at bind time, so steady-state
         // large calls never map a per-call segment.
@@ -243,6 +274,7 @@ impl LrpcRuntime {
         )
         .map(Arc::new);
         if let Some(arena) = &bulk {
+            arena.attach_replay(&self.rr);
             self.metrics.register_gauge(
                 &format!("lrpc_bulk_arena_busy:{name}"),
                 arena.busy_gauge().clone(),
@@ -328,6 +360,7 @@ impl LrpcRuntime {
             &format!("astacks-remote:{name}"),
             &per_proc,
         );
+        astacks.attach_replay(&self.rr);
         let touch = TouchPlan::allocate(&self.kernel, client, &proxy);
         let plans = self.compiled_plans(&interface);
         let estack_pool = self.estack_pool(&proxy);
@@ -373,6 +406,9 @@ impl LrpcRuntime {
     /// injection sites; `None` (the default) injects nothing.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
         firefly::meter::note_global_lock();
+        if let Some(p) = &plan {
+            p.attach_replay(&self.rr);
+        }
         *self.fault.write() = plan.clone();
         self.fault_installed
             .store(plan.is_some(), Ordering::Release);
@@ -446,6 +482,7 @@ impl LrpcRuntime {
                 self.config.estack_size,
                 self.config.max_estacks,
             ));
+            pool.attach_replay(&self.rr);
             // Adopt the pool's live busy gauge so exports see "E-stacks in
             // a call right now" per server domain without a sweep.
             self.metrics.register_gauge(

@@ -126,13 +126,22 @@ impl FlightRing {
         slot.seq.store(seq + 2, Ordering::SeqCst); // even: stable
     }
 
-    /// Reads every stable span currently in the ring. Slots that are
-    /// mid-update after [`READ_RETRIES`] attempts are skipped rather than
-    /// returned torn; never-written slots are skipped.
+    /// Reads every stable span currently in the ring, in push order
+    /// (oldest surviving span first). Slots that are mid-update after
+    /// [`READ_RETRIES`] attempts are skipped rather than returned torn;
+    /// never-written slots are skipped.
+    ///
+    /// Push order means starting the walk at `head % capacity` — the next
+    /// slot to be overwritten, i.e. the oldest — not at slot 0: once the
+    /// ring wraps, slot order and push order diverge. The head may advance
+    /// under a concurrent reader; that only rotates where the walk starts,
+    /// and every slot is still visited exactly once.
     pub fn read_all(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
-            if let Some(span) = Self::read_slot(slot) {
+        let cap = self.slots.len();
+        let start = self.head.load(Ordering::SeqCst) as usize % cap;
+        let mut out = Vec::with_capacity(cap);
+        for i in 0..cap {
+            if let Some(span) = Self::read_slot(&self.slots[(start + i) % cap]) {
                 out.push(span);
             }
         }
@@ -272,6 +281,41 @@ mod tests {
         phases.sort_unstable();
         assert_eq!(phases, vec![2, 3, 4, 5], "spans 0 and 1 were overwritten");
         assert_eq!(ring.pushed(), 6);
+    }
+
+    #[test]
+    fn read_all_preserves_push_order_across_wraparound() {
+        // Regression: read_all used to walk slots in index order, so after
+        // a wrap the tail of the ring (older spans in high slots) came out
+        // *before* the freshly overwritten low slots. Push spans with
+        // strictly increasing start_ns and require read_all to return them
+        // already monotone — no sorting allowed here.
+        let ring = FlightRing::new(4);
+        for i in 0..7u64 {
+            ring.push(SpanRecord {
+                trace: TraceId::from_raw(1),
+                phase: i as u16,
+                start_ns: 100 + i,
+                dur_ns: 1,
+            });
+        }
+        let spans = ring.read_all();
+        let starts: Vec<u64> = spans.iter().map(|s| s.start_ns).collect();
+        assert_eq!(
+            starts,
+            vec![103, 104, 105, 106],
+            "oldest surviving span first, in push order"
+        );
+        // An exact multiple of capacity wraps back to slot 0; order must
+        // still hold.
+        ring.push(SpanRecord {
+            trace: TraceId::from_raw(1),
+            phase: 7,
+            start_ns: 107,
+            dur_ns: 1,
+        });
+        let starts: Vec<u64> = ring.read_all().iter().map(|s| s.start_ns).collect();
+        assert_eq!(starts, vec![104, 105, 106, 107]);
     }
 
     #[test]
