@@ -23,6 +23,7 @@
 
 use std::process::ExitCode;
 
+use bench::batch;
 use bench::bulk;
 use bench::host_parallel;
 use bench::json::Json;
@@ -34,6 +35,7 @@ const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
 const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
 const STUBS_SCHEMA: &str = "lrpc-bench-stubs/v1";
 const BULK_SCHEMA: &str = "lrpc-bench-bulk/v1";
+const BATCH_SCHEMA: &str = "lrpc-bench-batch/v1";
 
 fn usage() -> ! {
     eprintln!(
@@ -41,7 +43,8 @@ fn usage() -> ! {
          bench --phases [--check]\n       \
          bench --stubs [--check]\n       \
          bench --bulk [--check]\n       \
-         bench --record FILE [--scenario chaos|fig2] [--seed N] [--rcalls N]\n       \
+         bench --batch [--check]\n       \
+         bench --record FILE [--scenario chaos|fig2|batch] [--seed N] [--rcalls N]\n       \
          bench --replay FILE [--check]\n       \
          bench --rr-overhead [--rcalls N] [--check]\n       \
          bench --shrink [--seed N] [--rcalls N]\n       \
@@ -233,6 +236,60 @@ fn run_bulk(check: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the call-ring batch-size sweep, appends the measurements to
+/// `BENCH_batch.json`, and (with `check`) fails on any gate violation:
+/// <2x the batch-of-1 virtual throughput at batch 16. The per-call
+/// phase/copy identity with the serial path and the one-trap-per-doorbell
+/// accounting are asserted inside the run itself.
+fn run_batch(check: bool) -> ExitCode {
+    let report = batch::run(batch::DEFAULT_ITERS);
+    print!("{}", batch::render(&report));
+
+    let points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("batch".into(), Json::Num(p.batch as f64)),
+                (
+                    "virtual_ns_per_call".into(),
+                    Json::Num(p.virtual_ns_per_call as f64),
+                ),
+                ("speedup".into(), Json::Num(p.speedup)),
+                ("host_ns_per_call".into(), Json::Num(p.host_ns_per_call)),
+                ("calls_per_sec".into(), Json::Num(p.calls_per_sec)),
+                ("doorbells".into(), Json::Num(p.doorbells as f64)),
+                ("traps".into(), Json::Num(p.traps as f64)),
+            ])
+        })
+        .collect();
+    let entry = Json::Obj(vec![
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("experiment".into(), Json::Str("call-ring-batching".into())),
+        (
+            "serial_virtual_ns".into(),
+            Json::Num(report.serial_virtual_ns as f64),
+        ),
+        ("points".into(), Json::Arr(points)),
+    ]);
+    let path = repo_root().join("BENCH_batch.json");
+    let mut doc = load_or_init(&path, BATCH_SCHEMA, "call-ring-batching");
+    push_entry(&mut doc, entry);
+    if let Err(e) = std::fs::write(&path, doc.pretty()) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if check && !report.passes() {
+        for p in report.gate_failures() {
+            eprintln!("bench: batch gate failed: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Silences backtraces from chaos-injected server panics (they are
 /// caught and turned into call errors); any other panic still reaches
 /// the default hook.
@@ -270,6 +327,7 @@ fn run_record(path: &str, scenario: rr::ScenarioKind, seed: u64, calls: usize) -
     let sc = match scenario {
         rr::ScenarioKind::Chaos => rr::Scenario::chaos(seed, calls),
         rr::ScenarioKind::Fig2 => rr::Scenario::fig2(calls),
+        rr::ScenarioKind::Batch => rr::Scenario::batch(seed, calls),
     };
     let rec = rr::record(sc);
     let bytes = rec.log.encode();
@@ -473,7 +531,11 @@ fn validate_doc(doc: &Json) -> Vec<String> {
     let schema = doc.get("schema").and_then(Json::as_str);
     if !matches!(
         schema,
-        Some(THROUGHPUT_SCHEMA) | Some(LATENCY_SCHEMA) | Some(STUBS_SCHEMA) | Some(BULK_SCHEMA)
+        Some(THROUGHPUT_SCHEMA)
+            | Some(LATENCY_SCHEMA)
+            | Some(STUBS_SCHEMA)
+            | Some(BULK_SCHEMA)
+            | Some(BATCH_SCHEMA)
     ) {
         problems.push(format!("unknown or missing schema {schema:?}"));
     }
@@ -534,6 +596,33 @@ fn validate_doc(doc: &Json) -> Vec<String> {
                     problems.push(format!("entry {i} point {j}: missing `proc`"));
                 }
                 for key in ["payload", "arena_ns", "fallback_ns", "speedup"] {
+                    match p.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        _ => problems.push(format!(
+                            "entry {i} point {j}: missing or non-positive `{key}`"
+                        )),
+                    }
+                }
+            }
+            continue;
+        }
+        if schema == Some(BATCH_SCHEMA) {
+            if entry
+                .get("serial_virtual_ns")
+                .and_then(Json::as_f64)
+                .is_none()
+            {
+                problems.push(format!("entry {i}: missing number `serial_virtual_ns`"));
+            }
+            let Some(points) = entry.get("points").and_then(Json::as_arr) else {
+                problems.push(format!("entry {i}: missing `points` array"));
+                continue;
+            };
+            if points.is_empty() {
+                problems.push(format!("entry {i}: empty `points`"));
+            }
+            for (j, p) in points.iter().enumerate() {
+                for key in ["batch", "virtual_ns_per_call", "speedup", "calls_per_sec"] {
                     match p.get(key).and_then(Json::as_f64) {
                         Some(v) if v > 0.0 => {}
                         _ => problems.push(format!(
@@ -648,6 +737,15 @@ fn main() -> ExitCode {
                     _ => usage(),
                 };
                 return run_bulk(check);
+            }
+            "--batch" => {
+                let rest = &args[i + 1..];
+                let check = match rest {
+                    [] => false,
+                    [flag] if flag == "--check" => true,
+                    _ => usage(),
+                };
+                return run_batch(check);
             }
             "--record" => {
                 let path = args.get(i + 1).cloned().unwrap_or_else(|| usage());

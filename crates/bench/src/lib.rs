@@ -7,6 +7,7 @@
 //! behaviour of the Rust implementation.
 
 pub mod ablations;
+pub mod batch;
 pub mod bulk;
 pub mod common;
 pub mod experiments;

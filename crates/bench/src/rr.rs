@@ -75,6 +75,10 @@ pub enum ScenarioKind {
     Chaos,
     /// The serial Figure-2 workload: steady-state Null calls on one CPU.
     Fig2,
+    /// A seeded batched-chaos run: `call_batch` groups of mixed
+    /// procedures under injected server panics, full submission rings
+    /// and lost doorbells.
+    Batch,
 }
 
 impl ScenarioKind {
@@ -83,6 +87,7 @@ impl ScenarioKind {
         match self {
             ScenarioKind::Chaos => "chaos",
             ScenarioKind::Fig2 => "fig2",
+            ScenarioKind::Batch => "batch",
         }
     }
 
@@ -91,6 +96,7 @@ impl ScenarioKind {
         match name {
             "chaos" => Some(ScenarioKind::Chaos),
             "fig2" => Some(ScenarioKind::Fig2),
+            "batch" => Some(ScenarioKind::Batch),
             _ => None,
         }
     }
@@ -125,6 +131,15 @@ impl Scenario {
             calls,
         }
     }
+
+    /// A batched-chaos scenario.
+    pub fn batch(seed: u64, calls: usize) -> Scenario {
+        Scenario {
+            kind: ScenarioKind::Batch,
+            seed,
+            calls,
+        }
+    }
 }
 
 /// The chaos scenario's default fault schedule for `seed`.
@@ -133,6 +148,19 @@ pub fn chaos_fault_config(seed: u64) -> FaultConfig {
         server_panic_every: 7,
         forge_binding_every: 11,
         dispatch_delay_us: 5,
+        ..FaultConfig::with_seed(seed)
+    }
+}
+
+/// The batched-chaos scenario's default fault schedule for `seed`: the
+/// ring-specific fault sites (submission ring presented as full, lost
+/// doorbells) on top of server panics and dispatch delays.
+pub fn batch_fault_config(seed: u64) -> FaultConfig {
+    FaultConfig {
+        server_panic_every: 5,
+        ring_full_every: 7,
+        doorbell_lost_every: 3,
+        dispatch_delay_us: 2,
         ..FaultConfig::with_seed(seed)
     }
 }
@@ -207,6 +235,23 @@ enum Driver {
         thread: Arc<Thread>,
         binding: Binding,
     },
+    Batch {
+        thread: Arc<Thread>,
+        binding: Binding,
+    },
+}
+
+/// Calls per submitted batch in the batched-chaos scenario.
+const BATCH_GROUP: usize = 8;
+
+/// Maps one workload-trace event onto the chaos interface by procedure
+/// index (the shape `call_batch` takes).
+fn event_call_indexed(rank: usize, bytes: u32) -> (usize, Vec<Value>) {
+    match rank % 3 {
+        0 => (0, vec![Value::Int32(bytes as i32)]),
+        1 => (1, vec![Value::Int32(bytes as i32)]),
+        _ => (2, vec![]),
+    }
 }
 
 fn build(sc: Scenario, fault: &FaultConfig, session: &Arc<Session>) -> ScenarioRun {
@@ -266,6 +311,21 @@ fn build(sc: Scenario, fault: &FaultConfig, session: &Arc<Session>) -> ScenarioR
                 driver: Driver::Fig2 { thread, binding },
             }
         }
+        ScenarioKind::Batch => {
+            let server = rt.kernel().create_domain("rr-batch-server");
+            rt.export(&server, RR_CHAOS_IDL, rr_chaos_handlers())
+                .expect("export");
+            let plan = FaultPlan::new(fault.clone());
+            rt.set_fault_plan(Some(Arc::clone(&plan)));
+            let app = rt.kernel().create_domain("rr-batch-app");
+            let thread = rt.kernel().spawn_thread(&app);
+            let binding = rt.import(&app, "RrChaos").expect("import");
+            ScenarioRun {
+                rt,
+                plan: Some(plan),
+                driver: Driver::Batch { thread, binding },
+            }
+        }
     }
 }
 
@@ -290,6 +350,28 @@ fn drive(run: &ScenarioRun, sc: Scenario) -> (u32, u32) {
                     .expect("fig2 Null call");
             }
             (sc.calls as u32, 0)
+        }
+        Driver::Batch { thread, binding } => {
+            let trace = TraceModel::taos().generate(sc.seed, sc.calls);
+            let (mut ok, mut err) = (0, 0);
+            for group in trace.events.chunks(BATCH_GROUP) {
+                let requests: Vec<(usize, Vec<Value>)> = group
+                    .iter()
+                    .map(|ev| event_call_indexed(ev.proc_rank, ev.bytes))
+                    .collect();
+                match binding.call_batch(0, thread, requests) {
+                    Ok(out) => {
+                        for r in &out.results {
+                            match r {
+                                Ok(_) => ok += 1,
+                                Err(_) => err += 1,
+                            }
+                        }
+                    }
+                    Err(_) => err += group.len() as u32,
+                }
+            }
+            (ok, err)
         }
     }
 }
@@ -341,6 +423,7 @@ pub fn record(sc: Scenario) -> Recording {
     let fault = match sc.kind {
         ScenarioKind::Chaos => chaos_fault_config(sc.seed),
         ScenarioKind::Fig2 => FaultConfig::default(),
+        ScenarioKind::Batch => batch_fault_config(sc.seed),
     };
     record_with(sc, &fault)
 }
@@ -568,6 +651,16 @@ fn u64_knobs() -> Vec<U64Knob> {
             sparser: double,
         },
         U64Knob {
+            get: |c| c.ring_full_every,
+            set: |c, v| c.ring_full_every = v,
+            sparser: double,
+        },
+        U64Knob {
+            get: |c| c.doorbell_lost_every,
+            set: |c, v| c.doorbell_lost_every = v,
+            sparser: double,
+        },
+        U64Knob {
             get: |c| c.dispatch_delay_us,
             set: |c, v| c.dispatch_delay_us = v,
             sparser: halve,
@@ -707,7 +800,7 @@ mod tests {
 
     #[test]
     fn scenario_names_round_trip() {
-        for kind in [ScenarioKind::Chaos, ScenarioKind::Fig2] {
+        for kind in [ScenarioKind::Chaos, ScenarioKind::Fig2, ScenarioKind::Batch] {
             assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(ScenarioKind::parse("nope"), None);
@@ -767,6 +860,22 @@ mod tests {
         );
         assert_eq!(report.artifacts.trace_json, rec.artifacts.trace_json);
         assert_eq!(report.artifacts.metrics_json, rec.artifacts.metrics_json);
+    }
+
+    #[test]
+    fn batch_record_replays_byte_identically_from_the_log_alone() {
+        let rec = record(Scenario::batch(5, 48));
+        assert!(rec.artifacts.err > 0, "the schedule injected failures");
+        assert!(rec.artifacts.fault_events > 0);
+        let report = replay(&rec.log).expect("well-formed log");
+        assert!(
+            report.is_identical(),
+            "divergence {:?}, unconsumed {}, mismatches {:?}",
+            report.divergence,
+            report.unconsumed,
+            report.mismatches
+        );
+        assert_eq!(report.artifacts, rec.artifacts);
     }
 
     #[test]

@@ -160,6 +160,11 @@ pub struct CostModel {
     /// per-queue lock). The paper reports queueing at under 2 % of call
     /// time.
     pub astack_queue_op: Nanos,
+    /// One submission/completion-ring descriptor operation (enqueue a call
+    /// descriptor, drain it on the server side, or reap its completion).
+    /// Modeled on the A-stack queue-op cost: a handful of shared-memory
+    /// writes, no kernel involvement.
+    pub ring_descriptor_op: Nanos,
     /// Memory-bus occupancy of one Null call (TLB refills and kernel data
     /// traffic); this is the serialized hardware resource that bounds
     /// multiprocessor call throughput in Figure 2.
@@ -189,6 +194,7 @@ impl CostModel {
             processor_exchange: Nanos::from_micros(17),
             remote_access_per_byte: Nanos::from_nanos(63),
             astack_queue_op: Nanos::from_nanos(1_400),
+            ring_descriptor_op: Nanos::from_nanos(1_400),
             bus_time_null_call: Nanos::from_micros(43),
             bus_time_per_byte: Nanos::from_nanos(80),
         }
@@ -211,6 +217,7 @@ impl CostModel {
             processor_exchange: Nanos::from_micros(30),
             remote_access_per_byte: Nanos::from_nanos(70),
             astack_queue_op: Nanos::from_nanos(2_500),
+            ring_descriptor_op: Nanos::from_nanos(2_500),
             // The MicroVAX II's slower memory system makes the shared bus
             // the binding constraint at five processors: 281 µs / 65 µs
             // ≈ 4.3, the speedup Section 4 reports.

@@ -66,6 +66,13 @@ pub struct FaultConfig {
     /// Terminate the server domain from inside its Nth dispatch — once
     /// (0 = never).
     pub terminate_server_after: u64,
+    /// Every Nth call-ring enqueue finds the submission ring full,
+    /// forcing the caller to degrade that call to a single-call trap
+    /// (0 = never).
+    pub ring_full_every: u64,
+    /// Every Nth doorbell is lost in the kernel and must be re-rung,
+    /// costing the batch an extra trap (0 = never).
+    pub doorbell_lost_every: u64,
 }
 
 impl Default for FaultConfig {
@@ -83,6 +90,8 @@ impl Default for FaultConfig {
             bulk_exhaust: false,
             forge_binding_every: 0,
             terminate_server_after: 0,
+            ring_full_every: 0,
+            doorbell_lost_every: 0,
         }
     }
 }
@@ -108,6 +117,8 @@ impl FaultConfig {
             && !self.bulk_exhaust
             && self.forge_binding_every == 0
             && self.terminate_server_after == 0
+            && self.ring_full_every == 0
+            && self.doorbell_lost_every == 0
     }
 }
 
@@ -162,6 +173,11 @@ pub enum FaultKind {
     BulkArenaExhausted,
     /// A forged Binding Object was presented to the kernel.
     BindingForged,
+    /// The submission ring was presented as full; the call degraded to
+    /// a single-call trap.
+    RingFull,
+    /// A doorbell was lost in the kernel and re-rung (one extra trap).
+    DoorbellLost,
 }
 
 /// What the plan decided for one server dispatch.
@@ -276,6 +292,8 @@ pub struct FaultPlan {
     log: Mutex<Vec<FaultEvent>>,
     dispatches: AtomicU64,
     calls: AtomicU64,
+    ring_enqueues: AtomicU64,
+    doorbells: AtomicU64,
     terminated: AtomicBool,
     gate: HangGate,
     /// Record/replay session: when set (non-live), every decision this
@@ -299,6 +317,8 @@ impl FaultPlan {
             log: Mutex::new(Vec::new()),
             dispatches: AtomicU64::new(0),
             calls: AtomicU64::new(0),
+            ring_enqueues: AtomicU64::new(0),
+            doorbells: AtomicU64::new(0),
             terminated: AtomicBool::new(false),
             gate: HangGate {
                 released: Mutex::new(false),
@@ -589,6 +609,72 @@ impl FaultPlan {
         self.config.bulk_exhaust
     }
 
+    /// True if this call-ring enqueue (plan-global counter) should find
+    /// the submission ring full, degrading the call to a single-call
+    /// trap. Records the event when it fires.
+    pub fn ring_full(&self, site: &str) -> bool {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_RING_FULL) {
+                if payload != 0 {
+                    self.record(site, FaultKind::RingFull);
+                }
+                return payload != 0;
+            }
+            let fire = self.ring_full_live(site);
+            h.emit(replay::kind::FAULT_RING_FULL, u64::from(fire));
+            return fire;
+        }
+        if self.config.ring_full_every == 0 {
+            return false;
+        }
+        self.ring_full_live(site)
+    }
+
+    fn ring_full_live(&self, site: &str) -> bool {
+        if self.config.ring_full_every == 0 {
+            return false;
+        }
+        let n = self.ring_enqueues.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = n.is_multiple_of(self.config.ring_full_every);
+        if fire {
+            self.record(site, FaultKind::RingFull);
+        }
+        fire
+    }
+
+    /// True if this doorbell (plan-global counter) should be lost in the
+    /// kernel and re-rung at the cost of one extra trap. Records the
+    /// event when it fires.
+    pub fn lose_doorbell(&self, site: &str) -> bool {
+        if let Some(h) = self.rr_handle(site) {
+            if let Some(payload) = h.expect(replay::kind::FAULT_DOORBELL_LOST) {
+                if payload != 0 {
+                    self.record(site, FaultKind::DoorbellLost);
+                }
+                return payload != 0;
+            }
+            let fire = self.lose_doorbell_live(site);
+            h.emit(replay::kind::FAULT_DOORBELL_LOST, u64::from(fire));
+            return fire;
+        }
+        if self.config.doorbell_lost_every == 0 {
+            return false;
+        }
+        self.lose_doorbell_live(site)
+    }
+
+    fn lose_doorbell_live(&self, site: &str) -> bool {
+        if self.config.doorbell_lost_every == 0 {
+            return false;
+        }
+        let n = self.doorbells.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = n.is_multiple_of(self.config.doorbell_lost_every);
+        if fire {
+            self.record(site, FaultKind::DoorbellLost);
+        }
+        fire
+    }
+
     /// Blocks the calling (captured) thread on the plan's hang gate until
     /// [`FaultPlan::release_hangs`] is called. The release flag is sticky:
     /// hangs decided after release return immediately.
@@ -702,6 +788,8 @@ mod tests {
             assert!(!plan.forge_binding("call"));
             assert!(!plan.exhaust_astacks("call"));
             assert!(!plan.exhaust_bulk("call"));
+            assert!(!plan.ring_full("ring"));
+            assert!(!plan.lose_doorbell("ring"));
         }
         assert_eq!(plan.event_count(), 0);
         assert!(plan.config().is_quiescent());
@@ -780,6 +868,45 @@ mod tests {
             .collect();
         assert_eq!(panics, vec![4, 8, 12]);
         assert_eq!(hangs, vec![6, 12]);
+    }
+
+    #[test]
+    fn every_nth_ring_decision_fires_and_replays() {
+        let plan = FaultPlan::new(FaultConfig {
+            ring_full_every: 3,
+            doorbell_lost_every: 2,
+            ..FaultConfig::default()
+        });
+        let fulls: Vec<bool> = (0..9).map(|_| plan.ring_full("ring")).collect();
+        let losses: Vec<bool> = (0..6).map(|_| plan.lose_doorbell("ring")).collect();
+        assert_eq!(
+            fulls,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(losses, vec![false, true, false, true, false, true]);
+        assert_eq!(plan.event_count(), 6);
+
+        // Recorded decisions replay identically under an all-zero config.
+        let session = replay::Session::recorder();
+        let rec = FaultPlan::new(FaultConfig {
+            ring_full_every: 3,
+            doorbell_lost_every: 2,
+            ..FaultConfig::default()
+        });
+        rec.attach_replay(&session);
+        let rec_fulls: Vec<bool> = (0..9).map(|_| rec.ring_full("ring")).collect();
+        let rec_losses: Vec<bool> = (0..6).map(|_| rec.lose_doorbell("ring")).collect();
+        let log = session.finish();
+        let replayer = replay::Session::replayer(&log);
+        let replan = FaultPlan::new(FaultConfig::default());
+        replan.attach_replay(&replayer);
+        let re_fulls: Vec<bool> = (0..9).map(|_| replan.ring_full("ring")).collect();
+        let re_losses: Vec<bool> = (0..6).map(|_| replan.lose_doorbell("ring")).collect();
+        assert_eq!(rec_fulls, re_fulls);
+        assert_eq!(rec_losses, re_losses);
+        assert_eq!(rec.events(), replan.events());
+        assert!(replayer.divergence().is_none());
+        assert_eq!(replayer.unconsumed(), 0);
     }
 
     #[test]

@@ -8,11 +8,65 @@
 //! The per-domain counters live on [`crate::domain::Domain`]; this module
 //! implements the prodding policy that redistributes idle CPUs.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use firefly::cpu::Machine;
 
 use crate::domain::Domain;
+
+/// A call-ring doorbell: the one-trap wakeup a client rings after filling
+/// the submission ring, io_uring style. Consecutive rings while the server
+/// has not yet drained coalesce into a single pending wakeup — the whole
+/// point of the batching plane is that many enqueued calls share one
+/// kernel trap.
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    pending: AtomicBool,
+    rung: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Doorbell {
+    /// A quiet doorbell.
+    pub fn new() -> Doorbell {
+        Doorbell::default()
+    }
+
+    /// Rings the doorbell. Returns `true` if a wakeup was already pending
+    /// (this ring coalesced into it — no new trap is needed); `false` if
+    /// this ring armed the doorbell and the caller must pay the trap.
+    pub fn ring(&self) -> bool {
+        let was_pending = self.pending.swap(true, Ordering::AcqRel);
+        if was_pending {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rung.fetch_add(1, Ordering::Relaxed);
+        }
+        was_pending
+    }
+
+    /// Server-side drain: consumes the pending wakeup, if any. Returns
+    /// `true` if a wakeup was pending.
+    pub fn take(&self) -> bool {
+        self.pending.swap(false, Ordering::AcqRel)
+    }
+
+    /// True if a wakeup is pending (armed but not yet drained).
+    pub fn is_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Total rings that armed the doorbell (each cost one trap).
+    pub fn rung_count(&self) -> u64 {
+        self.rung.load(Ordering::Relaxed)
+    }
+
+    /// Total rings that coalesced into an already-pending wakeup.
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
 
 /// Redistributes the machine's idle processors to the domains that missed
 /// the idle-processor optimization most often, then resets the counters.
@@ -82,6 +136,25 @@ mod tests {
             format!("d{id}"),
             Arc::new(VmContext::new(ContextId(ctx))),
         ))
+    }
+
+    #[test]
+    fn doorbell_coalesces_until_drained() {
+        let bell = Doorbell::new();
+        assert!(!bell.is_pending());
+        assert!(!bell.ring(), "first ring arms the doorbell");
+        assert!(bell.ring(), "second ring coalesces");
+        assert!(bell.ring(), "third ring coalesces too");
+        assert!(bell.is_pending());
+        assert_eq!(bell.rung_count(), 1);
+        assert_eq!(bell.coalesced_count(), 2);
+
+        assert!(bell.take(), "drain consumes the pending wakeup");
+        assert!(!bell.is_pending());
+        assert!(!bell.take(), "second drain finds nothing");
+
+        assert!(!bell.ring(), "after a drain the next ring arms again");
+        assert_eq!(bell.rung_count(), 2);
     }
 
     #[test]

@@ -211,6 +211,9 @@ pub struct BindingStats {
     /// Total out-of-band bytes per call (log2 buckets), attached the same
     /// way as `lrpc_bulk_bytes:{interface}`.
     bulk_bytes: OnceLock<obs::Histogram>,
+    /// Calls per submitted batch, attached the same way as
+    /// `lrpc_batch_size:{interface}`.
+    batch_size: OnceLock<obs::Histogram>,
 }
 
 impl BindingStats {
@@ -307,6 +310,22 @@ impl BindingStats {
             h.observe(bytes);
         }
     }
+
+    /// Attaches the batch-size histogram. First attachment wins.
+    pub fn attach_batch_size(&self, histogram: obs::Histogram) {
+        let _ = self.batch_size.set(histogram);
+    }
+
+    /// The attached batch-size histogram, if any.
+    pub fn batch_size(&self) -> Option<&obs::Histogram> {
+        self.batch_size.get()
+    }
+
+    pub(crate) fn observe_batch_size(&self, calls: u64) {
+        if let Some(h) = self.batch_size.get() {
+            h.observe(calls);
+        }
+    }
 }
 
 /// The kernel-side state of one binding.
@@ -337,6 +356,9 @@ pub struct BindingState {
     /// global on the critical path). Safe across termination: revocation
     /// stops calls before the runtime drops its reference.
     pub estack_pool: Arc<crate::estack::EStackPool>,
+    /// The pairwise submission/completion ring for doorbell-batched calls,
+    /// mapped at import time; `None` for remote bindings.
+    pub ring: Option<Arc<crate::ring::CallRing>>,
     /// Set when either domain terminates; "this prevents any more
     /// out-calls from the domain, and prevents other domains from making
     /// any more in-calls" (Section 5.3).
@@ -364,6 +386,7 @@ impl BindingState {
         touch: TouchPlan,
         plans: Arc<InterfacePlans>,
         estack_pool: Arc<crate::estack::EStackPool>,
+        ring: Option<Arc<crate::ring::CallRing>>,
         remote: bool,
     ) -> BindingState {
         BindingState {
@@ -376,6 +399,7 @@ impl BindingState {
             touch,
             plans,
             estack_pool,
+            ring,
             revoked: AtomicBool::new(false),
             remote,
             stats: BindingStats::default(),

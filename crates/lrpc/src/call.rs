@@ -45,11 +45,11 @@ use crate::runtime::LrpcRuntime;
 /// Extra validation time for an A-stack outside the primary contiguous
 /// region (Section 5.2: "A-stacks in this space ... will take slightly
 /// more time to validate during a call").
-const OVERFLOW_VALIDATION_COST: Nanos = Nanos::from_micros(3);
+pub(crate) const OVERFLOW_VALIDATION_COST: Nanos = Nanos::from_micros(3);
 
 /// One-time cost of allocating a fresh E-stack out of the server domain
 /// (the lazy-association slow path).
-const ESTACK_ALLOC_COST: Nanos = Nanos::from_micros(10);
+pub(crate) const ESTACK_ALLOC_COST: Nanos = Nanos::from_micros(10);
 
 /// Cost of mapping and unmapping a per-call out-of-band segment
 /// ("Handling unexpectedly large parameters is complicated and relatively
@@ -90,7 +90,7 @@ pub struct CallOutcome {
 
 /// A stub-VM frame backed by a slice of a (pairwise-shared) A-stack
 /// region, with protection checks and TLB page touches.
-struct AStackFrame<'a> {
+pub(crate) struct AStackFrame<'a> {
     cpu: &'a Cpu,
     ctx: &'a VmContext,
     region: &'a Region,
@@ -100,7 +100,13 @@ struct AStackFrame<'a> {
 }
 
 impl<'a> AStackFrame<'a> {
-    fn new(cpu: &'a Cpu, ctx: &'a VmContext, region: &'a Region, base: usize, len: usize) -> Self {
+    pub(crate) fn new(
+        cpu: &'a Cpu,
+        ctx: &'a VmContext,
+        region: &'a Region,
+        base: usize,
+        len: usize,
+    ) -> Self {
         AStackFrame {
             cpu,
             ctx,
@@ -111,7 +117,7 @@ impl<'a> AStackFrame<'a> {
         }
     }
 
-    fn misses(&self) -> u64 {
+    pub(crate) fn misses(&self) -> u64 {
         self.misses.get()
     }
 
@@ -161,17 +167,23 @@ impl Frame for AStackFrame<'_> {
     }
 }
 
-fn charge(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos) {
+pub(crate) fn charge(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos) {
     cpu.charge(amount);
     meter.record_span(phase, amount, cpu.now());
 }
 
-fn charge_locked(cpu: &Cpu, meter: &mut Meter, phase: Phase, amount: Nanos, lock: &'static str) {
+pub(crate) fn charge_locked(
+    cpu: &Cpu,
+    meter: &mut Meter,
+    phase: Phase,
+    amount: Nanos,
+    lock: &'static str,
+) {
     cpu.charge(amount);
     meter.record_locked_span(phase, amount, Some(lock), cpu.now());
 }
 
-fn touch_set(cpu: &Cpu, pages: impl IntoIterator<Item = PageId>, meter: &mut Meter) {
+pub(crate) fn touch_set(cpu: &Cpu, pages: impl IntoIterator<Item = PageId>, meter: &mut Meter) {
     cpu.touch_pages(pages, meter);
 }
 
@@ -179,24 +191,24 @@ fn touch_set(cpu: &Cpu, pages: impl IntoIterator<Item = PageId>, meter: &mut Met
 /// the binding's bind-time bulk arena (steady state) or a freshly mapped
 /// per-call segment (fallback). Either way the bytes cross domains through
 /// a pairwise-shared region under the server's protection checks.
-struct OobTransport {
-    region: Arc<Region>,
-    base: usize,
+pub(crate) struct OobTransport {
+    pub(crate) region: Arc<Region>,
+    pub(crate) base: usize,
 }
 
 /// Cleans up call resources if the path errors after acquisition.
-struct CallGuard<'a> {
-    state: &'a Arc<BindingState>,
-    thread: &'a Arc<Thread>,
-    machine: &'a Arc<Machine>,
-    astack: Option<usize>,
-    slot: Option<Arc<LinkageSlot>>,
-    pool: Option<(Arc<EStackPool>, u64)>,
+pub(crate) struct CallGuard<'a> {
+    pub(crate) state: &'a Arc<BindingState>,
+    pub(crate) thread: &'a Arc<Thread>,
+    pub(crate) machine: &'a Arc<Machine>,
+    pub(crate) astack: Option<usize>,
+    pub(crate) slot: Option<Arc<LinkageSlot>>,
+    pub(crate) pool: Option<(Arc<EStackPool>, u64)>,
     /// A leased bulk-arena chunk to return.
-    bulk_chunk: Option<usize>,
+    pub(crate) bulk_chunk: Option<usize>,
     /// A per-call fallback segment to unmap and free.
-    oob_region: Option<Arc<Region>>,
-    linkage_pushed: bool,
+    pub(crate) oob_region: Option<Arc<Region>>,
+    pub(crate) linkage_pushed: bool,
 }
 
 impl Drop for CallGuard<'_> {
@@ -227,7 +239,7 @@ impl Drop for CallGuard<'_> {
 }
 
 impl CallGuard<'_> {
-    fn disarm(&mut self) {
+    pub(crate) fn disarm(&mut self) {
         self.astack = None;
         self.slot = None;
         self.pool = None;

@@ -60,6 +60,7 @@ pub mod error;
 pub mod estack;
 pub mod recover;
 pub mod remote;
+pub mod ring;
 pub mod runtime;
 pub mod touch;
 pub mod typed;
@@ -74,6 +75,7 @@ pub use recover::{
     BreakerConfig, BreakerState, CircuitBreaker, RecoveryConfig, ResilientClient, RetryPolicy,
 };
 pub use remote::{RemoteReply, RemoteTransport};
+pub use ring::{block_on, BatchOutcome, BatchSummary, CallFuture, CallRing, RingBatch, RING_SLOTS};
 pub use runtime::{LrpcRuntime, RuntimeConfig};
 pub use touch::TouchPlan;
 pub use typed::{IntoValue, TypedCall, TypedOutcome};

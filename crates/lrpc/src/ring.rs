@@ -1,0 +1,1635 @@
+//! Pairwise submission/completion call rings: doorbell-batched LRPC.
+//!
+//! The paper's call path pays two kernel traps per call. For workloads
+//! that issue many small calls, the trap (and the two context switches
+//! around the server visit) dominates. This module amortizes them
+//! io_uring style: a lock-free SPSC **submission ring** on a
+//! pairwise-shared region where the client enqueues many call
+//! descriptors, a **doorbell** rung once per batch (one trap, and
+//! consecutive rings coalesce while the server has not drained), and a
+//! paired **completion ring** the server posts results into.
+//!
+//! The per-call work — stub marshaling through the A-stack, linkage and
+//! Binding-Object validation, E-stack association, dispatch, result
+//! fetch — is *identical* to the serial path in [`crate::call`], charged
+//! to each call's own meter. Only the per-crossing costs (traps, kernel
+//! transfer, context switches) move onto the batch meter, paid once per
+//! doorbell instead of once per call. Three ring-descriptor queue
+//! operations per call (enqueue, drain, completion reap) are the price
+//! of admission, also on the batch meter.
+//!
+//! Ring decisions (enqueue slot, doorbell outcome, drain order) flow
+//! through the binding's `ring:{interface}` record/replay stream, so a
+//! recorded batched run replays bit-identically.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use firefly::cost::CostModel;
+use firefly::cpu::{Cpu, Machine};
+use firefly::mem::Region;
+use firefly::meter::{Meter, Phase, TraceId};
+use firefly::time::Nanos;
+use firefly::vm::VmContext;
+use idl::copyops::{CopyLog, CopyOp};
+use idl::plan::ArgVec;
+use idl::stubvm::{needs_server_copy, OobStore, StubVm};
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use kernel::objects::RawHandle;
+use kernel::sched::Doorbell;
+use kernel::thread::{Linkage, ReturnPath, Thread};
+use kernel::Domain;
+
+use crate::astack::LinkageSlot;
+use crate::binding::{Binding, BindingState, Reply, ServerCtx};
+use crate::call::{
+    charge, charge_locked, lrpc_call, touch_set, AStackFrame, CallGuard, CallOutcome, OobTransport,
+    ASTACK_QUEUE_LOCK, ESTACK_ALLOC_COST, OOB_SEGMENT_COST, OVERFLOW_VALIDATION_COST,
+};
+use crate::error::CallError;
+use crate::runtime::LrpcRuntime;
+
+/// Submission (and completion) slots per ring. Batches larger than this
+/// simply flush mid-way — the ring is a window, not a limit.
+pub const RING_SLOTS: u32 = 64;
+
+/// Bytes per descriptor: `[proc | astack | seq | magic]`, four u32s.
+const DESC_BYTES: usize = 16;
+
+/// Magic stamped into submission descriptors.
+const DESC_MAGIC: u32 = 0xBE11_CA11;
+
+/// Magic stamped into completion descriptors.
+const COMP_MAGIC: u32 = 0xD04E_F14E;
+
+/// A pairwise submission/completion ring for one binding.
+///
+/// Single-producer (the client thread filling a batch), single-consumer
+/// (the server drain per doorbell). `head`/`tail` index the submission
+/// half; the completion half is slot-addressed — completion `i` answers
+/// submission slot `i`, matched by sequence number.
+pub struct CallRing {
+    name: String,
+    region: Arc<Region>,
+    slots: u32,
+    /// Next submission slot the server will drain.
+    head: AtomicU32,
+    /// Next submission slot the client will fill.
+    tail: AtomicU32,
+    doorbell: Doorbell,
+    /// `lrpc_ring_occupancy:{interface}` — live submission-ring depth.
+    occupancy: obs::Gauge,
+    /// `lrpc_doorbells_total` — doorbells that actually trapped.
+    doorbells_total: obs::Counter,
+    /// Record/replay stream for ring decisions (`ring:{interface}`).
+    rr: OnceLock<replay::Handle>,
+}
+
+/// One drained submission descriptor.
+pub(crate) struct RingDescriptor {
+    pub(crate) slot: u32,
+    pub(crate) proc_index: usize,
+    pub(crate) astack_idx: usize,
+    pub(crate) seq: u32,
+}
+
+impl CallRing {
+    /// Maps the ring region pairwise into both domains and wires the
+    /// metrics instruments. Called by the runtime at import time.
+    pub fn new(
+        kernel: &Arc<Kernel>,
+        client: &Arc<Domain>,
+        server: &Arc<Domain>,
+        name: &str,
+        occupancy: obs::Gauge,
+        doorbells_total: obs::Counter,
+    ) -> CallRing {
+        let region = kernel.map_pairwise(
+            format!("call-ring:{name}"),
+            client,
+            server,
+            RING_SLOTS as usize * 2 * DESC_BYTES,
+        );
+        CallRing {
+            name: name.to_string(),
+            region,
+            slots: RING_SLOTS,
+            head: AtomicU32::new(0),
+            tail: AtomicU32::new(0),
+            doorbell: Doorbell::new(),
+            occupancy,
+            doorbells_total,
+            rr: OnceLock::new(),
+        }
+    }
+
+    /// Attaches a record/replay session: enqueue slots, doorbell outcomes
+    /// and drain order flow through the `ring:{name}` stream. Live
+    /// sessions are ignored; a second attach is ignored.
+    pub fn attach_replay(&self, session: &Arc<replay::Session>) {
+        if session.is_live() {
+            return;
+        }
+        let _ = self.rr.set(session.stream(&format!("ring:{}", self.name)));
+    }
+
+    fn emit(&self, kind: u16, payload: u64) {
+        if let Some(h) = self.rr.get() {
+            h.emit(kind, payload);
+        }
+    }
+
+    /// The ring's interface name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Submission capacity.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    /// Entries currently enqueued and not yet drained.
+    pub fn occupancy_now(&self) -> u32 {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// True when no submission slot is free.
+    pub fn is_full(&self) -> bool {
+        self.occupancy_now() >= self.slots
+    }
+
+    /// True when nothing is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy_now() == 0
+    }
+
+    /// The client's doorbell.
+    pub fn doorbell(&self) -> &Doorbell {
+        &self.doorbell
+    }
+
+    /// The shared `lrpc_doorbells_total` counter.
+    pub(crate) fn doorbells_total(&self) -> &obs::Counter {
+        &self.doorbells_total
+    }
+
+    /// Consumes the pending doorbell on the server side.
+    pub(crate) fn take_doorbell(&self) -> bool {
+        self.doorbell.take()
+    }
+
+    /// Drops every enqueued descriptor (crossing-level abort).
+    pub(crate) fn reset(&self) {
+        let tail = self.tail.load(Ordering::Acquire);
+        self.head.store(tail, Ordering::Release);
+        self.occupancy.set(0);
+        self.doorbell.take();
+    }
+
+    /// Client side: writes one call descriptor into the next free slot.
+    pub(crate) fn enqueue(
+        &self,
+        cpu: &Cpu,
+        ctx: &VmContext,
+        proc_index: usize,
+        astack_idx: usize,
+        seq: u32,
+    ) -> Result<u32, CallError> {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots {
+            // Callers check `is_full` and flush first; hitting this is a
+            // batching bug, surfaced as a failed call rather than a panic.
+            return Err(CallError::CallFailed);
+        }
+        let slot = tail % self.slots;
+        ctx.check(self.region.id(), true, false)
+            .map_err(CallError::Mem)?;
+        let mut desc = [0u8; DESC_BYTES];
+        desc[..4].copy_from_slice(&(proc_index as u32).to_le_bytes());
+        desc[4..8].copy_from_slice(&(astack_idx as u32).to_le_bytes());
+        desc[8..12].copy_from_slice(&seq.to_le_bytes());
+        desc[12..].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        self.region
+            .write_raw(slot as usize * DESC_BYTES, &desc)
+            .map_err(CallError::Mem)?;
+        let mut scratch = Meter::disabled();
+        cpu.touch_pages(
+            self.region
+                .pages_for(slot as usize * DESC_BYTES, DESC_BYTES),
+            &mut scratch,
+        );
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.occupancy.set(self.occupancy_now() as i64);
+        self.emit(
+            replay::kind::RING_ENQUEUE,
+            (u64::from(slot) << 32) | proc_index as u64,
+        );
+        Ok(slot)
+    }
+
+    /// Server side: pops the next descriptor, or `None` when drained dry.
+    pub(crate) fn drain(
+        &self,
+        cpu: &Cpu,
+        server_ctx: &VmContext,
+    ) -> Result<Option<RingDescriptor>, CallError> {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return Ok(None);
+        }
+        let slot = head % self.slots;
+        server_ctx
+            .check(self.region.id(), false, false)
+            .map_err(CallError::Mem)?;
+        let desc = self
+            .region
+            .read_vec(slot as usize * DESC_BYTES, DESC_BYTES)
+            .map_err(CallError::Mem)?;
+        let magic = u32::from_le_bytes([desc[12], desc[13], desc[14], desc[15]]);
+        if magic != DESC_MAGIC {
+            return Err(CallError::CallFailed);
+        }
+        let mut scratch = Meter::disabled();
+        cpu.touch_pages(
+            self.region
+                .pages_for(slot as usize * DESC_BYTES, DESC_BYTES),
+            &mut scratch,
+        );
+        let proc_index = u32::from_le_bytes([desc[0], desc[1], desc[2], desc[3]]) as usize;
+        let astack_idx = u32::from_le_bytes([desc[4], desc[5], desc[6], desc[7]]) as usize;
+        let seq = u32::from_le_bytes([desc[8], desc[9], desc[10], desc[11]]);
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        self.occupancy.set(self.occupancy_now() as i64);
+        self.emit(
+            replay::kind::RING_DRAIN,
+            (u64::from(slot) << 32) | proc_index as u64,
+        );
+        Ok(Some(RingDescriptor {
+            slot,
+            proc_index,
+            astack_idx,
+            seq,
+        }))
+    }
+
+    /// Server side: posts the completion for submission slot `slot`.
+    pub(crate) fn post_completion(
+        &self,
+        cpu: &Cpu,
+        ctx: &VmContext,
+        slot: u32,
+        seq: u32,
+        status: u32,
+    ) -> Result<(), CallError> {
+        ctx.check(self.region.id(), true, false)
+            .map_err(CallError::Mem)?;
+        let off = (self.slots + slot) as usize * DESC_BYTES;
+        let mut desc = [0u8; DESC_BYTES];
+        desc[..4].copy_from_slice(&status.to_le_bytes());
+        desc[8..12].copy_from_slice(&seq.to_le_bytes());
+        desc[12..].copy_from_slice(&COMP_MAGIC.to_le_bytes());
+        self.region.write_raw(off, &desc).map_err(CallError::Mem)?;
+        let mut scratch = Meter::disabled();
+        cpu.touch_pages(self.region.pages_for(off, DESC_BYTES), &mut scratch);
+        Ok(())
+    }
+
+    /// Client side: reads back the completion for `slot`, returning its
+    /// status word. The sequence number must match the submission.
+    pub(crate) fn reap(
+        &self,
+        cpu: &Cpu,
+        ctx: &VmContext,
+        slot: u32,
+        seq: u32,
+    ) -> Result<u32, CallError> {
+        ctx.check(self.region.id(), false, false)
+            .map_err(CallError::Mem)?;
+        let off = (self.slots + slot) as usize * DESC_BYTES;
+        let desc = self
+            .region
+            .read_vec(off, DESC_BYTES)
+            .map_err(CallError::Mem)?;
+        let magic = u32::from_le_bytes([desc[12], desc[13], desc[14], desc[15]]);
+        let got_seq = u32::from_le_bytes([desc[8], desc[9], desc[10], desc[11]]);
+        if magic != COMP_MAGIC || got_seq != seq {
+            return Err(CallError::CallFailed);
+        }
+        let mut scratch = Meter::disabled();
+        cpu.touch_pages(self.region.pages_for(off, DESC_BYTES), &mut scratch);
+        Ok(u32::from_le_bytes([desc[0], desc[1], desc[2], desc[3]]))
+    }
+}
+
+/// What a whole batch reports.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, in request order. Each carries the same
+    /// per-call meter/copy-log a serial call would, minus the amortized
+    /// crossing phases.
+    pub results: Vec<Result<CallOutcome, CallError>>,
+    /// The crossing costs shared by the batch: traps, kernel transfers,
+    /// context switches and ring-descriptor queue ops.
+    pub batch_meter: Meter,
+    /// Doorbells that actually trapped (lost doorbells count twice).
+    pub doorbells: u64,
+    /// Kernel traps paid by the whole batch.
+    pub traps: u64,
+    /// Calls that degraded to the serial single-call trap path (ring
+    /// presented as full by fault injection, or no ring on the binding).
+    pub degraded: u64,
+    /// Virtual time the batch took on the calling thread.
+    pub elapsed: Nanos,
+    /// The CPU the thread ended on.
+    pub end_cpu: usize,
+}
+
+/// A compact summary of a submitted [`RingBatch`].
+#[derive(Debug)]
+pub struct BatchSummary {
+    /// Calls submitted.
+    pub calls: usize,
+    /// Calls that completed successfully.
+    pub ok: usize,
+    /// Calls that raised an exception.
+    pub failed: usize,
+    /// Doorbells that actually trapped.
+    pub doorbells: u64,
+    /// Kernel traps paid by the whole batch.
+    pub traps: u64,
+    /// Calls that degraded to the serial path.
+    pub degraded: u64,
+    /// The batch-shared crossing meter.
+    pub batch_meter: Meter,
+    /// Virtual time the batch took.
+    pub elapsed: Nanos,
+}
+
+/// Materializes a per-call error from a batch-level one. [`CallError`]
+/// holds non-`Clone` payloads ([`idl::stubvm::StubError`] etc.), so
+/// batch-wide aborts reproduce the variant rather than the payload.
+fn clone_err(e: &CallError) -> CallError {
+    match e {
+        CallError::InvalidBinding(h) => CallError::InvalidBinding(*h),
+        CallError::BindingRevoked => CallError::BindingRevoked,
+        CallError::BadProcedure { index } => CallError::BadProcedure { index: *index },
+        CallError::BadAStack => CallError::BadAStack,
+        CallError::AStackBusy => CallError::AStackBusy,
+        CallError::NoAStacks => CallError::NoAStacks,
+        CallError::CallAborted => CallError::CallAborted,
+        CallError::DomainDead => CallError::DomainDead,
+        _ => CallError::CallFailed,
+    }
+}
+
+/// Everything the batch engine threads through its helpers.
+struct BatchEnv<'a> {
+    rt: &'a Arc<LrpcRuntime>,
+    machine: &'a Arc<Machine>,
+    cost: CostModel,
+    state: &'a Arc<BindingState>,
+    ring: &'a CallRing,
+    cpu: &'a Cpu,
+    thread: &'a Arc<Thread>,
+    handle: RawHandle,
+    metered: bool,
+    fault: Option<Arc<firefly::fault::FaultPlan>>,
+    doorbell_site: String,
+}
+
+/// One enqueued-but-not-completed call: everything the drain and reap
+/// halves need, owned across the crossing.
+struct PendingCall {
+    /// Position in the request (and results) vector.
+    index: usize,
+    proc_index: usize,
+    class: usize,
+    astack_idx: usize,
+    slot: u32,
+    seq: u32,
+    start: Nanos,
+    trace: TraceId,
+    meter: Meter,
+    copies: CopyLog,
+    /// Out-of-band store: in-direction segments from the client push,
+    /// out-direction segments appended by the server place.
+    oob: OobStore,
+    transport: Option<OobTransport>,
+    bulk_chunk: Option<usize>,
+    oob_region: Option<Arc<Region>>,
+    linkage_slot: Option<Arc<LinkageSlot>>,
+    estack_key: Option<u64>,
+    reply: Option<Reply>,
+    error: Option<CallError>,
+}
+
+/// Releases everything a failed pending call still holds.
+fn release_resources(env: &BatchEnv<'_>, pc: &mut PendingCall) {
+    if let Some(slot) = pc.linkage_slot.take() {
+        slot.release();
+    }
+    if let Some(key) = pc.estack_key.take() {
+        env.state.estack_pool.end_call(key);
+    }
+    if let Some(chunk) = pc.bulk_chunk.take() {
+        if let Some(arena) = &env.state.bulk {
+            arena.release(chunk);
+        }
+    }
+    if let Some(region) = pc.oob_region.take() {
+        env.state.client.ctx().unmap(region.id());
+        env.state.server.ctx().unmap(region.id());
+        env.machine.mem().free(region.id());
+    }
+    env.state.astacks.release(pc.astack_idx);
+}
+
+/// Client half of one batched call: stub marshal onto a fresh A-stack,
+/// out-of-band setup, and the ring-descriptor enqueue. Mirrors the serial
+/// path byte for byte; per-call costs go on the call's own meter, the
+/// ring op on the batch meter.
+fn enqueue_one(
+    env: &BatchEnv<'_>,
+    batch_meter: &mut Meter,
+    index: usize,
+    proc_index: usize,
+    args: &[Value],
+    seq: u32,
+) -> Result<PendingCall, CallError> {
+    let cpu = env.cpu;
+    let cost = &env.cost;
+    let state = env.state;
+    let mut meter = if env.metered {
+        Meter::enabled()
+    } else {
+        Meter::disabled()
+    };
+    let trace = TraceId::next();
+    meter.set_trace(trace);
+    let mut copies = CopyLog::new();
+    let start = cpu.now();
+
+    charge(
+        cpu,
+        &mut meter,
+        Phase::ProcedureCall,
+        cost.hw.procedure_call,
+    );
+
+    let proc = state
+        .interface
+        .procs
+        .get(proc_index)
+        .ok_or(CallError::BadProcedure { index: proc_index })?;
+    let plan = &state.plans.procs[proc_index];
+    let client_ctx = state.client.ctx();
+
+    // First call of the batch loads the client context; later calls find
+    // it already loaded and this is free. Crossing cost → batch meter.
+    cpu.switch_context(client_ctx.id(), cost, batch_meter);
+
+    charge(cpu, &mut meter, Phase::ClientStub, cost.client_stub_call);
+    touch_set(cpu, state.touch.client_call().iter().copied(), &mut meter);
+
+    let class = state.astacks.class_of_proc(proc_index);
+    let astack_idx = state.astacks.acquire(
+        class,
+        env.rt.config().astack_policy,
+        env.rt.kernel(),
+        &state.client,
+        &state.server,
+    )?;
+    charge_locked(
+        cpu,
+        &mut meter,
+        Phase::QueueOp,
+        cost.astack_queue_op,
+        ASTACK_QUEUE_LOCK,
+    );
+
+    let mut guard = CallGuard {
+        state,
+        thread: env.thread,
+        machine: env.machine,
+        astack: Some(astack_idx),
+        slot: None,
+        pool: None,
+        bulk_chunk: None,
+        oob_region: None,
+        linkage_pushed: false,
+    };
+
+    let aref = state
+        .astacks
+        .lookup(astack_idx)
+        .ok_or(CallError::BadAStack)?;
+    touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut meter);
+
+    // Copy A of Table 3: push the arguments onto the shared A-stack.
+    let mut oob = OobStore::new();
+    {
+        let mut frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(cost, cpu, &mut meter);
+        match &plan.push {
+            Some(p) => p.execute(proc, args, &mut frame, &mut vm)?,
+            None => vm.client_push_args(proc, args, &mut frame, &mut oob)?,
+        }
+        let misses = frame.misses();
+        meter.add_tlb_misses(misses);
+    }
+    if env.metered {
+        for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+            if p.dir.is_in() {
+                copies.record(CopyOp::A, slot_l.size);
+            }
+        }
+    }
+
+    // Out-of-band transport, exactly as the serial path: bulk-arena chunk
+    // in steady state, per-call pairwise segment as the fallback.
+    let transport = if oob.is_empty() {
+        None
+    } else {
+        let total: usize = oob.iter().map(|s| s.len() + 8).sum();
+        state.stats.observe_bulk_bytes(total as u64);
+        let exhausted = matches!(&env.fault, Some(plan) if plan.exhaust_bulk("call:bulk"));
+        let chunk = if exhausted {
+            None
+        } else {
+            state.bulk.as_ref().and_then(|a| a.acquire(total))
+        };
+        let (region, base) = match chunk {
+            Some(c) => {
+                guard.bulk_chunk = Some(c.index);
+                let arena = state.bulk.as_ref().expect("chunk implies arena");
+                (Arc::clone(arena.region()), c.offset)
+            }
+            None => {
+                state.stats.note_bulk_fallback();
+                charge(cpu, &mut meter, Phase::OobSegment, OOB_SEGMENT_COST);
+                let region = env.rt.kernel().map_pairwise(
+                    "oob-segment",
+                    &state.client,
+                    &state.server,
+                    total.max(8),
+                );
+                guard.oob_region = Some(Arc::clone(&region));
+                (region, 0)
+            }
+        };
+        let mut off = base;
+        let mut scratch = Meter::disabled();
+        for seg in &oob {
+            let mut hdr = [0u8; 8];
+            hdr[..4].copy_from_slice(&(seg.len() as u32).to_le_bytes());
+            region.write_raw(off, &hdr).map_err(CallError::Mem)?;
+            region.write_raw(off + 8, seg).map_err(CallError::Mem)?;
+            cpu.touch_pages(region.pages_for(off, seg.len() + 8), &mut scratch);
+            off += seg.len() + 8;
+        }
+        Some(OobTransport { region, base })
+    };
+
+    // The descriptor write replaces the serial path's register setup +
+    // trap: one ring-descriptor queue op on the batch meter.
+    let slot = env
+        .ring
+        .enqueue(cpu, client_ctx, proc_index, astack_idx, seq)?;
+    charge(cpu, batch_meter, Phase::QueueOp, cost.ring_descriptor_op);
+
+    let bulk_chunk = guard.bulk_chunk.take();
+    let oob_region = guard.oob_region.take();
+    guard.disarm();
+
+    Ok(PendingCall {
+        index,
+        proc_index,
+        class,
+        astack_idx,
+        slot,
+        seq,
+        start,
+        trace,
+        meter,
+        copies,
+        oob,
+        transport,
+        bulk_chunk,
+        oob_region,
+        linkage_slot: None,
+        estack_key: None,
+        reply: None,
+        error: None,
+    })
+}
+
+/// Server half of one drained call: E-stack association, stub read,
+/// dispatch, stub place. Runs in the server's context on the migrated
+/// client thread. Everything on the call's own meter.
+fn serve_one(env: &BatchEnv<'_>, pc: &mut PendingCall) -> Result<(), CallError> {
+    let cpu = env.cpu;
+    let cost = &env.cost;
+    let state = env.state;
+    let server_ctx = state.server.ctx();
+    let proc = &state.interface.procs[pc.proc_index];
+    let plan = &state.plans.procs[pc.proc_index];
+    let aref = state
+        .astacks
+        .lookup(pc.astack_idx)
+        .ok_or(CallError::BadAStack)?;
+
+    // Lazy E-stack association, keyed by the A-stack's global identity.
+    let astack_key = (aref.region.id().0 << 24) | pc.astack_idx as u64;
+    let (estack, fresh) = state.estack_pool.get_for_call(env.rt.kernel(), astack_key);
+    pc.estack_key = Some(astack_key);
+    if fresh {
+        charge(cpu, &mut pc.meter, Phase::Other, ESTACK_ALLOC_COST);
+    }
+    env.thread.set_user_sp(estack.id().0 << 32);
+    let mut frame_header = [0u8; 16];
+    frame_header[..4].copy_from_slice(&(pc.proc_index as u32).to_le_bytes());
+    frame_header[4..8].copy_from_slice(&(pc.astack_idx as u32).to_le_bytes());
+    frame_header[8..].copy_from_slice(&0xF1FE_F1FE_CA11_F4A3u64.to_le_bytes());
+    estack.write_raw(0, &frame_header).map_err(CallError::Mem)?;
+
+    charge(
+        cpu,
+        &mut pc.meter,
+        Phase::ServerStub,
+        cost.server_stub_entry,
+    );
+    touch_set(
+        cpu,
+        state.touch.server_side().iter().copied(),
+        &mut pc.meter,
+    );
+    touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut pc.meter);
+
+    // Rebuild the out-of-band store under the server's protection context.
+    let server_oob: OobStore = match &pc.transport {
+        None => OobStore::new(),
+        Some(t) => {
+            server_ctx
+                .check(t.region.id(), false, false)
+                .map_err(CallError::Mem)?;
+            let mut segs = OobStore::new();
+            let mut off = t.base;
+            let mut scratch = Meter::disabled();
+            for _ in 0..pc.oob.len() {
+                let hdr = t.region.read_vec(off, 8).map_err(CallError::Mem)?;
+                let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+                segs.push(t.region.read_vec(off + 8, len).map_err(CallError::Mem)?);
+                cpu.touch_pages(t.region.pages_for(off, len + 8), &mut scratch);
+                off += len + 8;
+            }
+            segs
+        }
+    };
+
+    let sargs = {
+        let frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
+        let mut vm = StubVm::new(cost, cpu, &mut pc.meter);
+        let vals = match &plan.read {
+            Some(rp) => {
+                let mut out = ArgVec::new();
+                rp.execute(&frame, &mut vm, &mut out)?;
+                out
+            }
+            None => ArgVec::from_vec(vm.server_read_args(proc, &frame, &server_oob)?),
+        };
+        let misses = frame.misses();
+        pc.meter.add_tlb_misses(misses);
+        vals
+    };
+    if env.metered {
+        for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+            if p.dir.is_in() && needs_server_copy(p, proc.def.inplace) {
+                pc.copies.record(CopyOp::E, slot_l.size);
+            }
+        }
+    }
+
+    if !state.server.is_active() || !state.client.is_active() {
+        return Err(CallError::DomainDead);
+    }
+
+    let sctx = ServerCtx {
+        rt: Arc::clone(env.rt),
+        thread: Arc::clone(env.thread),
+        domain: Arc::clone(&state.server),
+        cpu_id: cpu.id(),
+    };
+    let reply = state
+        .clerk
+        .dispatch(pc.proc_index, &sctx, sargs.as_slice())?;
+
+    charge(
+        cpu,
+        &mut pc.meter,
+        Phase::ServerStub,
+        cost.server_stub_return,
+    );
+    {
+        let mut frame = AStackFrame::new(cpu, server_ctx, &aref.region, aref.offset, aref.size);
+        match &plan.place {
+            Some(p) => p.execute(reply.ret.as_ref(), &reply.outs, &mut frame)?,
+            None => {
+                let mut vm = StubVm::new(cost, cpu, &mut pc.meter);
+                vm.server_place_results(
+                    proc,
+                    reply.ret.as_ref(),
+                    &reply.outs,
+                    &mut frame,
+                    &mut pc.oob,
+                )?;
+            }
+        }
+        let misses = frame.misses();
+        pc.meter.add_tlb_misses(misses);
+    }
+    pc.reply = Some(reply);
+    Ok(())
+}
+
+/// Aborts a flushed batch at the crossing level (binding validation or
+/// domain liveness failed): every pending call fails with the same error,
+/// resources drain, and the ring is reset.
+fn abort_batch(
+    env: &BatchEnv<'_>,
+    pending: &mut Vec<PendingCall>,
+    results: &mut [Option<Result<CallOutcome, CallError>>],
+    e: &CallError,
+) {
+    env.ring.reset();
+    for mut pc in pending.drain(..) {
+        release_resources(env, &mut pc);
+        env.state.stats.note_failure();
+        results[pc.index] = Some(Err(clone_err(e)));
+    }
+}
+
+/// The return half of one reaped call: the return value plus the
+/// out-param values (by argument position) the client stub fetched.
+type FetchedResults = (Option<Value>, Vec<(usize, Value)>);
+
+/// Rings the doorbell and performs one full crossing: kernel validation,
+/// per-call linkage claims, context switch, server-side drain/dispatch of
+/// every pending call, completion posting, and the return crossing with
+/// per-call result fetch.
+#[allow(clippy::too_many_arguments)]
+fn flush(
+    env: &BatchEnv<'_>,
+    batch_meter: &mut Meter,
+    pending: &mut Vec<PendingCall>,
+    results: &mut [Option<Result<CallOutcome, CallError>>],
+    doorbells: &mut u64,
+    traps: &mut u64,
+    thread_dead: &mut bool,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let cpu = env.cpu;
+    let cost = &env.cost;
+    let state = env.state;
+    let client_ctx = state.client.ctx();
+    let server_ctx = state.server.ctx();
+
+    // ---- Doorbell -----------------------------------------------------
+    // One trap per doorbell — the whole point. A coalesced ring (server
+    // wakeup still pending) costs nothing; a lost doorbell (fault
+    // injection) must be rung again: two traps, still fewer than N.
+    let coalesced = env.ring.doorbell().ring();
+    let lost =
+        !coalesced && matches!(&env.fault, Some(plan) if plan.lose_doorbell(&env.doorbell_site));
+    env.ring.emit(
+        replay::kind::RING_DOORBELL,
+        if coalesced {
+            0
+        } else if lost {
+            2
+        } else {
+            1
+        },
+    );
+    if !coalesced {
+        if lost {
+            env.rt.kernel().trap(cpu, batch_meter);
+            *traps += 1;
+            *doorbells += 1;
+            env.ring.doorbells_total().inc();
+        }
+        env.rt.kernel().trap(cpu, batch_meter);
+        *traps += 1;
+        *doorbells += 1;
+        env.ring.doorbells_total().inc();
+    }
+
+    // ---- Kernel, call crossing (once per batch) -----------------------
+    charge(
+        cpu,
+        batch_meter,
+        Phase::KernelTransfer,
+        cost.kernel_transfer_call,
+    );
+    touch_set(cpu, state.touch.kernel_call().iter().copied(), batch_meter);
+
+    let handle = match &env.fault {
+        Some(plan) if plan.forge_binding("batch:binding") => RawHandle {
+            id: env.handle.id,
+            nonce: env.handle.nonce ^ 0xDEAD_BEEF,
+        },
+        _ => env.handle,
+    };
+    let vstate = match env.rt.validate_binding(handle) {
+        Ok(s) => s,
+        Err(e) => {
+            abort_batch(env, pending, results, &e);
+            return;
+        }
+    };
+    if !vstate.server.is_active() || !vstate.client.is_active() {
+        abort_batch(env, pending, results, &CallError::DomainDead);
+        return;
+    }
+
+    // Per-call validation: A-stack, linkage claim. The linkage stack gets
+    // ONE entry per crossing — the batch migrates the thread once.
+    let return_sp = env.thread.user_sp();
+    let mut linkage_pushed = false;
+    for pc in pending.iter_mut() {
+        if pc.proc_index >= vstate.interface.procs.len() {
+            pc.error = Some(CallError::BadProcedure {
+                index: pc.proc_index,
+            });
+            continue;
+        }
+        let aref = match vstate.astacks.validate(pc.astack_idx, pc.class) {
+            Ok(a) => a,
+            Err(e) => {
+                pc.error = Some(e);
+                continue;
+            }
+        };
+        if aref.overflow {
+            charge(
+                cpu,
+                &mut pc.meter,
+                Phase::Validation,
+                OVERFLOW_VALIDATION_COST,
+            );
+        }
+        let slot = match vstate.astacks.linkage(pc.astack_idx) {
+            Some(s) => s,
+            None => {
+                pc.error = Some(CallError::BadAStack);
+                continue;
+            }
+        };
+        if !slot.try_claim() {
+            pc.error = Some(CallError::AStackBusy);
+            continue;
+        }
+        let linkage = Linkage {
+            caller_domain: vstate.client.id(),
+            callee_domain: vstate.server.id(),
+            binding: handle,
+            astack_index: pc.astack_idx,
+            proc_index: pc.proc_index,
+            return_sp,
+            valid: true,
+        };
+        slot.set_record(linkage);
+        if !linkage_pushed {
+            env.thread.push_linkage(linkage);
+            linkage_pushed = true;
+        }
+        pc.linkage_slot = Some(slot);
+    }
+
+    // ---- Transfer into the server domain (once per batch) -------------
+    cpu.switch_context(server_ctx.id(), cost, batch_meter);
+    env.ring.take_doorbell();
+
+    // ---- Server drain: the whole batch per wakeup ---------------------
+    for pc in pending.iter_mut() {
+        let desc = match env.ring.drain(cpu, server_ctx) {
+            Ok(Some(d)) => Some(d),
+            Ok(None) => None,
+            Err(_) => None,
+        };
+        charge(cpu, batch_meter, Phase::QueueOp, cost.ring_descriptor_op);
+        let matched = desc.as_ref().is_some_and(|d| {
+            d.slot == pc.slot
+                && d.proc_index == pc.proc_index
+                && d.astack_idx == pc.astack_idx
+                && d.seq == pc.seq
+        });
+        if !matched && pc.error.is_none() {
+            pc.error = Some(CallError::CallFailed);
+        }
+        if pc.error.is_none() {
+            if let Err(e) = serve_one(env, pc) {
+                pc.error = Some(e);
+            }
+        }
+        let status = u32::from(pc.error.is_some());
+        let _ = env
+            .ring
+            .post_completion(cpu, server_ctx, pc.slot, pc.seq, status);
+    }
+
+    // ---- Kernel, return crossing (once per batch) ---------------------
+    env.rt.kernel().trap(cpu, batch_meter);
+    *traps += 1;
+    charge(
+        cpu,
+        batch_meter,
+        Phase::KernelTransfer,
+        cost.kernel_transfer_return,
+    );
+    touch_set(
+        cpu,
+        state.touch.kernel_return().iter().copied(),
+        batch_meter,
+    );
+
+    for pc in pending.iter_mut() {
+        if let Some(slot) = pc.linkage_slot.take() {
+            slot.release();
+        }
+        if let Some(key) = pc.estack_key.take() {
+            state.estack_pool.end_call(key);
+        }
+    }
+
+    let mut crossing_error: Option<CallError> = None;
+    if linkage_pushed {
+        match env.thread.pop_linkage() {
+            ReturnPath::Return { to, call_failed } => {
+                env.thread.set_user_sp(to.return_sp);
+                if call_failed || to.caller_domain != vstate.client.id() {
+                    crossing_error = Some(CallError::CallFailed);
+                }
+            }
+            ReturnPath::DestroyThread => {
+                let aborted = env.thread.is_abandoned();
+                env.rt.kernel().reap_thread(env.thread.id());
+                *thread_dead = true;
+                crossing_error = Some(if aborted {
+                    CallError::CallAborted
+                } else {
+                    CallError::CallFailed
+                });
+            }
+        }
+    }
+    if let Some(e) = &crossing_error {
+        for pc in pending.iter_mut() {
+            if pc.error.is_none() {
+                pc.error = Some(clone_err(e));
+                pc.reply = None;
+            }
+        }
+    }
+
+    // ---- Transfer back and reap completions ---------------------------
+    if !*thread_dead {
+        cpu.switch_context(client_ctx.id(), cost, batch_meter);
+    }
+    for mut pc in pending.drain(..) {
+        if !*thread_dead {
+            let _ = env.ring.reap(cpu, client_ctx, pc.slot, pc.seq);
+            charge(cpu, batch_meter, Phase::QueueOp, cost.ring_descriptor_op);
+        }
+        if let Some(e) = pc.error.take() {
+            release_resources(env, &mut pc);
+            state.stats.note_failure();
+            results[pc.index] = Some(Err(e));
+            continue;
+        }
+
+        // ---- Client stub, return half (per call) ----------------------
+        charge(
+            cpu,
+            &mut pc.meter,
+            Phase::ClientStub,
+            cost.client_stub_return,
+        );
+        touch_set(
+            cpu,
+            state.touch.client_return().iter().copied(),
+            &mut pc.meter,
+        );
+        let fetched = (|| -> Result<FetchedResults, CallError> {
+            let aref = state
+                .astacks
+                .lookup(pc.astack_idx)
+                .ok_or(CallError::BadAStack)?;
+            touch_set(cpu, aref.region.pages_for(aref.offset, 1), &mut pc.meter);
+            let proc = &state.interface.procs[pc.proc_index];
+            let plan = &state.plans.procs[pc.proc_index];
+            let frame = AStackFrame::new(cpu, client_ctx, &aref.region, aref.offset, aref.size);
+            let mut vm = StubVm::new(cost, cpu, &mut pc.meter);
+            let r = match &plan.fetch {
+                Some(p) => p.execute(&frame, &mut vm)?,
+                None => vm.client_fetch_results(proc, &frame, &pc.oob)?,
+            };
+            let misses = frame.misses();
+            pc.meter.add_tlb_misses(misses);
+            Ok(r)
+        })();
+        let (ret, outs) = match fetched {
+            Ok(r) => r,
+            Err(e) => {
+                release_resources(env, &mut pc);
+                state.stats.note_failure();
+                results[pc.index] = Some(Err(e));
+                continue;
+            }
+        };
+        if env.metered {
+            let proc = &state.interface.procs[pc.proc_index];
+            if proc.layout.ret.is_some() {
+                pc.copies
+                    .record(CopyOp::F, proc.layout.ret.as_ref().map_or(0, |s| s.size));
+            }
+            for (slot_l, p) in proc.layout.params.iter().zip(&proc.def.params) {
+                if p.dir.is_out() {
+                    pc.copies.record(CopyOp::F, slot_l.size);
+                }
+            }
+        }
+
+        if let Some(idx) = pc.bulk_chunk.take() {
+            if let Some(arena) = &state.bulk {
+                arena.release(idx);
+            }
+        }
+        if let Some(region) = pc.oob_region.take() {
+            state.client.ctx().unmap(region.id());
+            state.server.ctx().unmap(region.id());
+            env.machine.mem().free(region.id());
+        }
+        state.astacks.release(pc.astack_idx);
+        charge_locked(
+            cpu,
+            &mut pc.meter,
+            Phase::QueueOp,
+            cost.astack_queue_op,
+            ASTACK_QUEUE_LOCK,
+        );
+
+        let elapsed = cpu.now() - pc.start;
+        state.stats.note_call();
+        state.stats.observe_latency(elapsed);
+        if env.metered {
+            state.stats.observe_stub_ns(
+                pc.meter.total_for(Phase::ClientStub)
+                    + pc.meter.total_for(Phase::ServerStub)
+                    + pc.meter.total_for(Phase::ArgCopy)
+                    + pc.meter.total_for(Phase::Marshal),
+            );
+        }
+        results[pc.index] = Some(Ok(CallOutcome {
+            ret,
+            outs,
+            elapsed,
+            meter: pc.meter,
+            copies: pc.copies,
+            exchanged_on_call: false,
+            exchanged_on_return: false,
+            end_cpu: cpu.id(),
+            trace: pc.trace,
+        }));
+    }
+    if *thread_dead {
+        env.ring.reset();
+    }
+}
+
+/// The batched call path: enqueue every request onto the submission ring
+/// (flushing whenever it fills), ring the doorbell once per flush, and
+/// reap completions. Remote and ringless bindings degrade to serial
+/// calls, as do calls the `ring_full` fault knob rejects.
+pub(crate) fn lrpc_call_batch(
+    rt: &Arc<LrpcRuntime>,
+    handle: RawHandle,
+    client_state: &Arc<BindingState>,
+    cpu_start: usize,
+    thread: &Arc<Thread>,
+    requests: Vec<(usize, Vec<Value>)>,
+    metered: bool,
+) -> Result<BatchOutcome, CallError> {
+    let n = requests.len();
+    client_state.stats.observe_batch_size(n as u64);
+
+    let ring = match (&client_state.ring, client_state.remote) {
+        (Some(r), false) => Arc::clone(r),
+        _ => {
+            // No ring to batch on: serial calls, one trap pair each.
+            let mut results = Vec::with_capacity(n);
+            let mut cpu_id = cpu_start;
+            for (proc_index, args) in &requests {
+                let out = lrpc_call(
+                    rt,
+                    handle,
+                    client_state,
+                    cpu_id,
+                    thread,
+                    *proc_index,
+                    args,
+                    metered,
+                );
+                if let Ok(o) = &out {
+                    cpu_id = o.end_cpu;
+                } else {
+                    client_state.stats.note_failure();
+                }
+                results.push(out);
+            }
+            return Ok(BatchOutcome {
+                results,
+                batch_meter: Meter::disabled(),
+                doorbells: 0,
+                traps: 0,
+                degraded: n as u64,
+                elapsed: Nanos::ZERO,
+                end_cpu: cpu_id,
+            });
+        }
+    };
+
+    let machine = Arc::clone(rt.kernel().machine());
+    let cost = *machine.cost();
+    let cpu = machine.cpu(cpu_start);
+    let mut batch_meter = if metered {
+        Meter::enabled()
+    } else {
+        Meter::disabled()
+    };
+    let trace = TraceId::next();
+    batch_meter.set_trace(trace);
+    let start = cpu.now();
+
+    let env = BatchEnv {
+        rt,
+        machine: &machine,
+        cost,
+        state: client_state,
+        ring: &ring,
+        cpu,
+        thread,
+        handle,
+        metered,
+        fault: rt.fault_plan(),
+        doorbell_site: format!("doorbell:{}", client_state.interface.name),
+    };
+    let ring_full_site = format!("ring-full:{}", client_state.interface.name);
+
+    let mut results: Vec<Option<Result<CallOutcome, CallError>>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let mut pending: Vec<PendingCall> = Vec::new();
+    let mut doorbells = 0u64;
+    let mut traps = 0u64;
+    let mut degraded = 0u64;
+    let mut thread_dead = false;
+    let mut seq = 0u32;
+
+    for (index, (proc_index, args)) in requests.iter().enumerate() {
+        if thread_dead {
+            results[index] = Some(Err(CallError::CallFailed));
+            continue;
+        }
+        // Fault injection: the submission ring is presented as full and
+        // this call degrades gracefully to a single-call trap. The real
+        // full condition flushes and retries — no degradation needed.
+        let full_injected = matches!(&env.fault, Some(p) if p.ring_full(&ring_full_site));
+        if full_injected || env.ring.is_full() {
+            flush(
+                &env,
+                &mut batch_meter,
+                &mut pending,
+                &mut results,
+                &mut doorbells,
+                &mut traps,
+                &mut thread_dead,
+            );
+            if thread_dead {
+                results[index] = Some(Err(CallError::CallFailed));
+                continue;
+            }
+            if full_injected {
+                degraded += 1;
+                let out = lrpc_call(
+                    rt,
+                    handle,
+                    client_state,
+                    cpu.id(),
+                    thread,
+                    *proc_index,
+                    args,
+                    metered,
+                );
+                if out.is_err() {
+                    client_state.stats.note_failure();
+                }
+                results[index] = Some(out);
+                continue;
+            }
+        }
+        match enqueue_one(&env, &mut batch_meter, index, *proc_index, args, seq) {
+            Ok(pc) => {
+                seq = seq.wrapping_add(1);
+                pending.push(pc);
+            }
+            Err(CallError::NoAStacks) if !pending.is_empty() => {
+                // The batch itself is holding the class's A-stacks:
+                // flush to release them, then retry once.
+                flush(
+                    &env,
+                    &mut batch_meter,
+                    &mut pending,
+                    &mut results,
+                    &mut doorbells,
+                    &mut traps,
+                    &mut thread_dead,
+                );
+                if thread_dead {
+                    results[index] = Some(Err(CallError::CallFailed));
+                    continue;
+                }
+                match enqueue_one(&env, &mut batch_meter, index, *proc_index, args, seq) {
+                    Ok(pc) => {
+                        seq = seq.wrapping_add(1);
+                        pending.push(pc);
+                    }
+                    Err(e) => {
+                        client_state.stats.note_failure();
+                        results[index] = Some(Err(e));
+                    }
+                }
+            }
+            Err(e) => {
+                client_state.stats.note_failure();
+                results[index] = Some(Err(e));
+            }
+        }
+    }
+    flush(
+        &env,
+        &mut batch_meter,
+        &mut pending,
+        &mut results,
+        &mut doorbells,
+        &mut traps,
+        &mut thread_dead,
+    );
+
+    let results: Vec<Result<CallOutcome, CallError>> = results
+        .into_iter()
+        .map(|r| r.unwrap_or(Err(CallError::CallFailed)))
+        .collect();
+    Ok(BatchOutcome {
+        results,
+        batch_meter,
+        doorbells,
+        traps,
+        degraded,
+        elapsed: cpu.now() - start,
+        end_cpu: cpu.id(),
+    })
+}
+
+/// Shared completion cell behind a [`CallFuture`].
+struct CompletionState {
+    result: Option<Result<CallOutcome, CallError>>,
+    waker: Option<Waker>,
+}
+
+/// A future resolved when the batch's completion ring is reaped.
+///
+/// Created by [`RingBatch::call_async`]; resolves after
+/// [`RingBatch::submit`] drains the paired completion ring.
+pub struct CallFuture {
+    shared: Arc<Mutex<CompletionState>>,
+}
+
+impl Future for CallFuture {
+    type Output = Result<CallOutcome, CallError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.lock();
+        match state.result.take() {
+            Some(r) => Poll::Ready(r),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// An open batch of calls accumulating toward one doorbell.
+pub struct RingBatch<'a> {
+    binding: &'a Binding,
+    cpu_id: usize,
+    thread: Arc<Thread>,
+    requests: Vec<(usize, Vec<Value>)>,
+    completions: Vec<Arc<Mutex<CompletionState>>>,
+}
+
+impl<'a> RingBatch<'a> {
+    /// The binding this batch submits through.
+    pub fn binding(&self) -> &'a Binding {
+        self.binding
+    }
+
+    /// Calls enqueued so far.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if nothing is enqueued yet.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Enqueues a call by procedure name, returning a future resolved on
+    /// completion-ring reap (i.e. when [`RingBatch::submit`] runs).
+    pub fn call_async(&mut self, proc: &str, args: &[Value]) -> Result<CallFuture, CallError> {
+        let index = self.binding.proc_index(proc)?;
+        Ok(self.call_async_indexed(index, args.to_vec()))
+    }
+
+    /// Enqueues a call by procedure identifier.
+    pub fn call_async_indexed(&mut self, proc_index: usize, args: Vec<Value>) -> CallFuture {
+        let shared = Arc::new(Mutex::new(CompletionState {
+            result: None,
+            waker: None,
+        }));
+        self.requests.push((proc_index, args));
+        self.completions.push(Arc::clone(&shared));
+        CallFuture { shared }
+    }
+
+    /// Rings the doorbell: the whole batch crosses in (at most) one trap
+    /// pair, every [`CallFuture`] resolves, and the crossing-level
+    /// accounting comes back.
+    pub fn submit(self) -> Result<BatchSummary, CallError> {
+        let outcome = lrpc_call_batch(
+            self.binding.runtime(),
+            self.binding.handle(),
+            self.binding.state(),
+            self.cpu_id,
+            &self.thread,
+            self.requests,
+            true,
+        )?;
+        let calls = outcome.results.len();
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        for (result, cell) in outcome.results.into_iter().zip(&self.completions) {
+            if result.is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            let waker = {
+                let mut state = cell.lock();
+                state.result = Some(result);
+                state.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+        Ok(BatchSummary {
+            calls,
+            ok,
+            failed,
+            doorbells: outcome.doorbells,
+            traps: outcome.traps,
+            degraded: outcome.degraded,
+            batch_meter: outcome.batch_meter,
+            elapsed: outcome.elapsed,
+        })
+    }
+}
+
+/// Drives a future to completion on the current thread. The LRPC batch
+/// front-end resolves futures synchronously at [`RingBatch::submit`], so
+/// a trivial executor suffices — no reactor, no timers.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::yield_now(),
+        }
+    }
+}
+
+impl Binding {
+    /// Makes a closed batch of calls through the submission/completion
+    /// ring: every request is enqueued (the ring flushes as it fills),
+    /// the doorbell rings once per flush, and the server drains the whole
+    /// batch per wakeup. Requests are `(procedure index, arguments)`.
+    pub fn call_batch(
+        &self,
+        cpu_id: usize,
+        thread: &Arc<Thread>,
+        requests: Vec<(usize, Vec<Value>)>,
+    ) -> Result<BatchOutcome, CallError> {
+        lrpc_call_batch(
+            self.runtime(),
+            self.handle(),
+            self.state(),
+            cpu_id,
+            thread,
+            requests,
+            true,
+        )
+    }
+
+    /// Opens an async batch: enqueue with [`RingBatch::call_async`], then
+    /// [`RingBatch::submit`] to ring the doorbell and resolve the futures.
+    pub fn batch(&self, cpu_id: usize, thread: &Arc<Thread>) -> RingBatch<'_> {
+        RingBatch {
+            binding: self,
+            cpu_id,
+            thread: Arc::clone(thread),
+            requests: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use crate::{Handler, LrpcRuntime};
+    use firefly::cpu::Machine;
+    use kernel::kernel::Kernel;
+
+    fn env() -> (Arc<LrpcRuntime>, Arc<Thread>, Binding) {
+        let rt = LrpcRuntime::with_config(
+            Kernel::new(Machine::cvax_firefly()),
+            RuntimeConfig {
+                domain_caching: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let server = rt.kernel().create_domain("svc");
+        rt.export(
+            &server,
+            r#"interface Svc {
+                [astacks = 8]
+                procedure Add(a: int32, b: int32) -> int32;
+                procedure Neg(a: int32) -> int32;
+            }"#,
+            vec![
+                Box::new(|_: &ServerCtx, args: &[Value]| {
+                    let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                        unreachable!()
+                    };
+                    Ok(Reply::value(Value::Int32(a + b)))
+                }) as Handler,
+                Box::new(|_: &ServerCtx, args: &[Value]| {
+                    let Value::Int32(a) = &args[0] else {
+                        unreachable!()
+                    };
+                    Ok(Reply::value(Value::Int32(-a)))
+                }) as Handler,
+            ],
+        )
+        .unwrap();
+        let client = rt.kernel().create_domain("app");
+        let thread = rt.kernel().spawn_thread(&client);
+        let binding = rt.import(&client, "Svc").unwrap();
+        (rt, thread, binding)
+    }
+
+    #[test]
+    fn batched_mixed_procedures_match_serial_results() {
+        let (_rt, thread, binding) = env();
+        let add = binding.proc_index("Add").unwrap();
+        let neg = binding.proc_index("Neg").unwrap();
+        let requests: Vec<(usize, Vec<Value>)> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (add, vec![Value::Int32(i), Value::Int32(100)])
+                } else {
+                    (neg, vec![Value::Int32(i)])
+                }
+            })
+            .collect();
+        let out = binding.call_batch(0, &thread, requests).unwrap();
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.degraded, 0);
+        for (i, r) in out.results.iter().enumerate() {
+            let o = r.as_ref().expect("batched call failed");
+            let expect = if i % 2 == 0 {
+                i as i32 + 100
+            } else {
+                -(i as i32)
+            };
+            assert_eq!(o.ret, Some(Value::Int32(expect)), "call {i}");
+        }
+    }
+
+    #[test]
+    fn one_trap_pair_per_doorbell() {
+        let (rt, thread, binding) = env();
+        let add = binding.proc_index("Add").unwrap();
+        let requests: Vec<(usize, Vec<Value>)> = (0..5)
+            .map(|i| (add, vec![Value::Int32(i), Value::Int32(1)]))
+            .collect();
+        let out = binding.call_batch(0, &thread, requests).unwrap();
+        // One doorbell trap in, one return trap out — for five calls.
+        assert_eq!(out.doorbells, 1);
+        assert_eq!(out.traps, 2);
+        let trap_cost = rt.kernel().machine().cost().hw.kernel_trap;
+        assert_eq!(
+            out.batch_meter.total_for(Phase::Trap),
+            trap_cost * out.traps,
+            "exactly one Phase::Trap charge per doorbell trap"
+        );
+        // The per-call meters carry no trap/crossing charges at all.
+        for r in &out.results {
+            let m = &r.as_ref().unwrap().meter;
+            assert_eq!(m.total_for(Phase::Trap), Nanos::ZERO);
+            assert_eq!(m.total_for(Phase::KernelTransfer), Nanos::ZERO);
+            assert_eq!(m.total_for(Phase::ContextSwitch), Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn futures_resolve_on_submit() {
+        let (_rt, thread, binding) = env();
+        let mut batch = binding.batch(0, &thread);
+        let a = batch
+            .call_async("Add", &[Value::Int32(40), Value::Int32(2)])
+            .unwrap();
+        let b = batch.call_async("Neg", &[Value::Int32(7)]).unwrap();
+        assert_eq!(batch.len(), 2);
+        let summary = batch.submit().unwrap();
+        assert_eq!(summary.calls, 2);
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.doorbells, 1);
+        let ra = block_on(a).unwrap();
+        let rb = block_on(b).unwrap();
+        assert_eq!(ra.ret, Some(Value::Int32(42)));
+        assert_eq!(rb.ret, Some(Value::Int32(-7)));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (_rt, thread, binding) = env();
+        let out = binding.call_batch(0, &thread, Vec::new()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.doorbells, 0);
+        assert_eq!(out.traps, 0);
+    }
+
+    #[test]
+    fn oversized_batch_flushes_and_reuses_the_ring() {
+        let (_rt, thread, binding) = env();
+        let add = binding.proc_index("Add").unwrap();
+        // Only 8 A-stacks: the batch must flush every 8 calls to recycle
+        // them, well before the 64-slot ring fills.
+        let requests: Vec<(usize, Vec<Value>)> = (0..20)
+            .map(|i| (add, vec![Value::Int32(i), Value::Int32(0)]))
+            .collect();
+        let out = binding.call_batch(0, &thread, requests).unwrap();
+        assert_eq!(out.results.len(), 20);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().ret, Some(Value::Int32(i as i32)));
+        }
+        assert!(
+            out.doorbells >= 2,
+            "20 calls over 8 A-stacks need multiple flushes, got {}",
+            out.doorbells
+        );
+        assert!(
+            out.doorbells <= 4,
+            "doorbells should stay far below call count, got {}",
+            out.doorbells
+        );
+    }
+}

@@ -136,6 +136,9 @@ impl LrpcRuntime {
         let metrics = Arc::new(obs::Registry::new());
         let plan_hits = metrics.counter("stub_plan_cache_hit");
         let plan_misses = metrics.counter("stub_plan_cache_miss");
+        // Doorbell traps across every binding: present from startup so a
+        // scrape before the first batch still sees the series.
+        let _ = metrics.counter("lrpc_doorbells_total");
         Arc::new(LrpcRuntime {
             kernel,
             config,
@@ -283,6 +286,17 @@ impl LrpcRuntime {
         let touch = TouchPlan::allocate(&self.kernel, client, &server);
         let plans = self.compiled_plans(clerk.interface());
         let estack_pool = self.estack_pool(&server);
+        // The pairwise submission/completion ring for doorbell-batched
+        // calls, mapped at bind time like the A-stacks.
+        let ring = Arc::new(crate::ring::CallRing::new(
+            &self.kernel,
+            client,
+            &server,
+            name,
+            self.metrics.gauge(&format!("lrpc_ring_occupancy:{name}")),
+            self.metrics.counter("lrpc_doorbells_total"),
+        ));
+        ring.attach_replay(&self.rr);
         let state = Arc::new(BindingState::new(
             Arc::clone(clerk.interface()),
             Arc::clone(client),
@@ -293,6 +307,7 @@ impl LrpcRuntime {
             touch,
             plans,
             estack_pool,
+            Some(ring),
             false,
         ));
         state.stats.attach_latency(
@@ -305,6 +320,9 @@ impl LrpcRuntime {
         state
             .stats
             .attach_bulk_bytes(self.metrics.histogram(&format!("lrpc_bulk_bytes:{name}")));
+        state
+            .stats
+            .attach_batch_size(self.metrics.histogram(&format!("lrpc_batch_size:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -376,6 +394,9 @@ impl LrpcRuntime {
             touch,
             plans,
             estack_pool,
+            // Remote calls take the conventional-RPC branch, so there is
+            // no pairwise call ring to batch on either.
+            None,
             true,
         ));
         state.stats.attach_latency(

@@ -72,6 +72,18 @@ pub mod kind {
     /// E-stack lazy-association outcome (payload:
     /// `astack_key << 1 | fresh_allocation`).
     pub const ESTACK_GET: u16 = 12;
+    /// Call-ring descriptor enqueue (payload: `slot << 32 | proc_index`).
+    pub const RING_ENQUEUE: u16 = 13;
+    /// Doorbell ring outcome (payload: 0 = coalesced into a pending
+    /// doorbell, 1 = rung, 2 = lost and re-rung).
+    pub const RING_DOORBELL: u16 = 14;
+    /// Call-ring descriptor drain on the server side (payload:
+    /// `slot << 32 | proc_index`).
+    pub const RING_DRAIN: u16 = 15;
+    /// Ring-full fault injection decision (payload: 0 or 1).
+    pub const FAULT_RING_FULL: u16 = 16;
+    /// Doorbell-lost fault injection decision (payload: 0 or 1).
+    pub const FAULT_DOORBELL_LOST: u16 = 17;
 
     /// Human name for a kind code (for divergence reports).
     pub fn name(kind: u16) -> &'static str {
@@ -88,6 +100,11 @@ pub mod kind {
             ASTACK_ACQUIRE => "astack-acquire",
             BULK_ACQUIRE => "bulk-acquire",
             ESTACK_GET => "estack-get",
+            RING_ENQUEUE => "ring-enqueue",
+            RING_DOORBELL => "ring-doorbell",
+            RING_DRAIN => "ring-drain",
+            FAULT_RING_FULL => "fault-ring-full",
+            FAULT_DOORBELL_LOST => "fault-doorbell-lost",
             _ => "unknown",
         }
     }

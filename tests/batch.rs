@@ -1,0 +1,350 @@
+//! Batched call plane: chaos degradation, the serial/batch differential,
+//! and the batch metrics surface.
+//!
+//! The submission/completion ring amortizes the per-call trap, but it
+//! must change *nothing else*: a `call_batch` of N mixed procedures has
+//! to produce byte-identical results and identical per-call virtual
+//! phase charges to N serial `call`s — minus exactly the amortized
+//! crossing phases (traps, kernel transfers, context switches), which
+//! move to the batch-shared meter. And under ring faults (submission
+//! ring presented as full, doorbells lost in the kernel) batched callers
+//! must degrade gracefully to single-call traps without leaking ring
+//! slots, A-stacks or E-stacks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use firefly::fault::{FaultConfig, FaultKind, FaultPlan};
+use firefly::meter::Phase;
+use firefly::time::Nanos;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use kernel::Domain;
+use lrpc::{
+    AStackPolicy, Binding, CallOutcome, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx,
+};
+use proptest::prelude::*;
+
+const BATCH_IDL: &str = r#"
+    interface Batch {
+        [astacks = 8] procedure Add(a: int32, b: int32) -> int32;
+        [astacks = 8] procedure Read(h: int32, buf: out bytes[8]) -> int32;
+        [astacks = 8] procedure Store(data: in var bytes[64] noninterpreted) -> int32;
+    }
+"#;
+
+fn batch_handlers() -> Vec<Handler> {
+    vec![
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(a.wrapping_add(*b))))
+        }) as Handler,
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = args[0] else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(h)).with_out(1, Value::Bytes(vec![h as u8; 8])))
+        }) as Handler,
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let Value::Var(v) = &args[0] else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(v.len() as i32)))
+        }) as Handler,
+    ]
+}
+
+fn make_env() -> (
+    Arc<LrpcRuntime>,
+    Arc<Domain>,
+    Binding,
+    Arc<kernel::thread::Thread>,
+) {
+    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
+    let rt = LrpcRuntime::with_config(
+        kernel,
+        RuntimeConfig {
+            domain_caching: false,
+            astack_policy: AStackPolicy::Fail,
+            import_timeout: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        },
+    );
+    let server = rt.kernel().create_domain("batch-server");
+    rt.export(&server, BATCH_IDL, batch_handlers())
+        .expect("export");
+    let app = rt.kernel().create_domain("app");
+    let thread = rt.kernel().spawn_thread(&app);
+    let binding = rt.import(&app, "Batch").unwrap();
+    (rt, server, binding, thread)
+}
+
+/// One request in both the serial and batched shape.
+fn request(choice: u8, x: i32) -> (usize, Vec<Value>) {
+    match choice % 3 {
+        0 => (0, vec![Value::Int32(x), Value::Int32(100)]),
+        1 => (1, vec![Value::Int32(x & 0x7f), Value::Bytes(vec![0; 8])]),
+        _ => (
+            2,
+            vec![Value::Var(vec![
+                x as u8;
+                (x.unsigned_abs() as usize % 64).max(1)
+            ])],
+        ),
+    }
+}
+
+fn assert_no_leaks(rt: &Arc<LrpcRuntime>, server: &Arc<Domain>, binding: &Binding) {
+    let astacks = &binding.state().astacks;
+    let free: usize = (0..astacks.classes().len())
+        .map(|c| astacks.free_count(c))
+        .sum();
+    assert_eq!(
+        free,
+        astacks.total_count(),
+        "every A-stack must be back on its queue"
+    );
+    let mut i = 0;
+    while let Some(slot) = astacks.linkage(i) {
+        assert!(!slot.is_in_use(), "linkage record {i} left claimed");
+        i += 1;
+    }
+    let pool = rt.estack_pool(server);
+    assert_eq!(pool.busy_count(), 0, "E-stack left associated with a call");
+    assert_eq!(pool.busy_gauge().get(), 0, "gauge reports an E-stack leak");
+    assert_eq!(
+        rt.kernel().snapshot().threads_in_calls,
+        0,
+        "no thread may remain inside an LRPC"
+    );
+    let ring = binding
+        .state()
+        .ring
+        .as_ref()
+        .expect("local binding has a ring");
+    assert_eq!(ring.occupancy_now(), 0, "ring slot leaked");
+    assert!(!ring.doorbell().is_pending(), "doorbell left armed");
+}
+
+#[test]
+fn batched_callers_degrade_gracefully_under_ring_faults() {
+    let (rt, server, binding, thread) = make_env();
+    let plan = FaultPlan::new(FaultConfig {
+        ring_full_every: 3,
+        doorbell_lost_every: 2,
+        ..FaultConfig::with_seed(0xD00B)
+    });
+    rt.set_fault_plan(Some(Arc::clone(&plan)));
+
+    let doorbells_before = rt
+        .collect_metrics()
+        .counter("lrpc_doorbells_total")
+        .unwrap_or(0);
+
+    let requests: Vec<(usize, Vec<Value>)> = (0..18).map(|i| request(i as u8, i)).collect();
+    let expected: Vec<(usize, Vec<Value>)> = requests.clone();
+    let out = binding.call_batch(0, &thread, requests).unwrap();
+
+    // Every call still succeeds — degraded, never broken — and results
+    // are exactly what the serial path would produce.
+    assert_eq!(out.results.len(), 18);
+    for (i, (r, (proc, args))) in out.results.iter().zip(&expected).enumerate() {
+        let o = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("call {i} failed: {e}"));
+        let expect = match proc {
+            0 => {
+                let Value::Int32(x) = args[0] else {
+                    unreachable!()
+                };
+                x + 100
+            }
+            1 => {
+                let Value::Int32(h) = args[0] else {
+                    unreachable!()
+                };
+                h
+            }
+            _ => {
+                let Value::Var(v) = &args[0] else {
+                    unreachable!()
+                };
+                v.len() as i32
+            }
+        };
+        assert_eq!(o.ret, Some(Value::Int32(expect)), "call {i}");
+    }
+
+    // Every 3rd enqueue found the ring "full" and degraded to a serial
+    // single-call trap.
+    assert_eq!(out.degraded, 6, "every 3rd call degraded");
+    assert_eq!(
+        plan.events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::RingFull)
+            .count(),
+        6
+    );
+    // Lost doorbells were re-rung (extra trap), never dropped.
+    let lost = plan
+        .events()
+        .iter()
+        .filter(|e| e.kind == FaultKind::DoorbellLost)
+        .count();
+    assert!(lost > 0, "the schedule lost at least one doorbell");
+    // Each flush pays its doorbell traps (two when one was lost) plus one
+    // return trap: doorbells < traps <= 2 * doorbells.
+    assert!(
+        out.traps > out.doorbells && out.traps <= 2 * out.doorbells,
+        "trap/doorbell accounting off: {} traps, {} doorbells",
+        out.traps,
+        out.doorbells
+    );
+    // Amortization still wins over 2 traps per call, even with the
+    // degraded calls' serial trap pairs added back in.
+    assert!(
+        out.traps + 2 * out.degraded < 2 * 18,
+        "batching under faults must still trap less than serial"
+    );
+
+    // The exported counter tracked the trapped doorbells exactly.
+    let doorbells_after = rt
+        .collect_metrics()
+        .counter("lrpc_doorbells_total")
+        .unwrap();
+    assert_eq!(doorbells_after - doorbells_before, out.doorbells);
+
+    assert_no_leaks(&rt, &server, &binding);
+
+    // With the plan lifted, batching returns to one doorbell per flush.
+    rt.set_fault_plan(None);
+    let clean = binding
+        .call_batch(0, &thread, (0..6).map(|i| request(0, i)).collect())
+        .unwrap();
+    assert_eq!(clean.degraded, 0);
+    assert_eq!(clean.doorbells, 1);
+    assert_eq!(clean.traps, 2);
+    assert_no_leaks(&rt, &server, &binding);
+}
+
+#[test]
+fn batch_metrics_reach_the_exporters() {
+    let (rt, _server, binding, thread) = make_env();
+    binding
+        .call_batch(0, &thread, (0..4).map(|i| request(0, i)).collect())
+        .unwrap();
+    let snap = rt.collect_metrics();
+    assert!(
+        snap.counter("lrpc_doorbells_total").unwrap() >= 1,
+        "doorbell counter must count the batch's trap"
+    );
+    assert!(
+        snap.get("lrpc_ring_occupancy:Batch").is_some(),
+        "per-interface occupancy gauge registered"
+    );
+    let text = obs::metrics_to_prometheus(&snap);
+    assert!(text.contains("lrpc_doorbells_total"), "{text}");
+    assert!(text.contains("lrpc_ring_occupancy"), "{text}");
+    assert!(text.contains("lrpc_batch_size"), "{text}");
+}
+
+// ---------------------------------------------------------------------
+// The serial/batch differential.
+// ---------------------------------------------------------------------
+
+/// The crossing phases a batch amortizes onto its shared meter; every
+/// other phase must charge identically per call.
+const AMORTIZED: [Phase; 4] = [
+    Phase::Trap,
+    Phase::KernelTransfer,
+    Phase::ContextSwitch,
+    Phase::ProcessorExchange,
+];
+
+fn outcome_key(o: &CallOutcome) -> (Option<Value>, Vec<(usize, Value)>, String) {
+    (o.ret.clone(), o.outs.clone(), format!("{:?}", o.copies))
+}
+
+/// Runs `requests` serially in one fresh environment and batched in
+/// another, both warmed first so lazily allocated resources (E-stacks,
+/// TLB entries, bulk chunks) exist on both sides, and compares.
+fn differential(requests: &[(usize, Vec<Value>)]) {
+    // ---- Serial side -------------------------------------------------
+    let (_rt_s, _server_s, binding_s, thread_s) = make_env();
+    for (proc, args) in requests {
+        binding_s
+            .call_indexed(0, &thread_s, *proc, args)
+            .expect("serial warm-up");
+    }
+    let serial: Vec<CallOutcome> = requests
+        .iter()
+        .map(|(proc, args)| binding_s.call_indexed(0, &thread_s, *proc, args).unwrap())
+        .collect();
+
+    // ---- Batched side ------------------------------------------------
+    let (_rt_b, _server_b, binding_b, thread_b) = make_env();
+    binding_b
+        .call_batch(0, &thread_b, requests.to_vec())
+        .expect("batch warm-up");
+    let batch = binding_b
+        .call_batch(0, &thread_b, requests.to_vec())
+        .unwrap();
+    assert_eq!(batch.degraded, 0);
+
+    for (i, (s, b)) in serial.iter().zip(&batch.results).enumerate() {
+        let b = b
+            .as_ref()
+            .unwrap_or_else(|e| panic!("batched call {i}: {e}"));
+        // Byte-identical results: return value, out-params, copy log.
+        assert_eq!(outcome_key(s), outcome_key(b), "call {i} results differ");
+        // Identical per-call phase charges, minus the amortized traps.
+        for phase in Phase::ALL {
+            if AMORTIZED.contains(&phase) {
+                assert_eq!(
+                    b.meter.total_for(phase),
+                    Nanos::ZERO,
+                    "call {i}: batched call charged amortized phase {phase:?}"
+                );
+            } else {
+                assert_eq!(
+                    s.meter.total_for(phase),
+                    b.meter.total_for(phase),
+                    "call {i}: phase {phase:?} diverged between serial and batch"
+                );
+            }
+        }
+    }
+    // The serial side really paid per-call traps the batch amortized.
+    let serial_traps: Nanos = serial
+        .iter()
+        .map(|o| o.meter.total_for(Phase::Trap))
+        .fold(Nanos::ZERO, |a, b| a + b);
+    assert!(serial_traps > batch.batch_meter.total_for(Phase::Trap) || requests.len() <= 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A `call_batch` of N mixed procedures produces byte-identical
+    /// results and identical per-call virtual phase charges to N serial
+    /// `call`s — minus the amortized crossing phases.
+    #[test]
+    fn batch_of_mixed_procedures_is_differentially_identical(
+        shape in proptest::collection::vec((0u8..3, -100i32..100), 1..8)
+    ) {
+        let requests: Vec<(usize, Vec<Value>)> =
+            shape.iter().map(|&(c, x)| request(c, x)).collect();
+        differential(&requests);
+    }
+}
+
+#[test]
+fn fixed_differential_with_every_procedure() {
+    // A deterministic instance of the property (fast path for CI).
+    let requests: Vec<(usize, Vec<Value>)> = (0..6).map(|i| request(i as u8, i)).collect();
+    differential(&requests);
+}

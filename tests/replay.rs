@@ -35,8 +35,8 @@ fn corpus_logs_replay_byte_identically() {
         replayed += 1;
     }
     assert!(
-        replayed >= 3,
-        "expected at least 3 corpus logs, saw {replayed}"
+        replayed >= 4,
+        "expected at least 4 corpus logs, saw {replayed}"
     );
 }
 
