@@ -30,12 +30,14 @@ use bench::json::Json;
 use bench::phases;
 use bench::rr;
 use bench::stubs;
+use bench::tail;
 
 const THROUGHPUT_SCHEMA: &str = "lrpc-bench-throughput/v1";
 const LATENCY_SCHEMA: &str = "lrpc-bench-latency/v1";
 const STUBS_SCHEMA: &str = "lrpc-bench-stubs/v1";
 const BULK_SCHEMA: &str = "lrpc-bench-bulk/v1";
 const BATCH_SCHEMA: &str = "lrpc-bench-batch/v1";
+const TAIL_SCHEMA: &str = "lrpc-bench-tail/v1";
 
 fn usage() -> ! {
     eprintln!(
@@ -44,6 +46,8 @@ fn usage() -> ! {
          bench --stubs [--check]\n       \
          bench --bulk [--check]\n       \
          bench --batch [--check]\n       \
+         bench --tail [--check] [--tail-fault-us N]\n       \
+         bench --all\n       \
          bench --record FILE [--scenario chaos|fig2|batch] [--seed N] [--rcalls N]\n       \
          bench --replay FILE [--check]\n       \
          bench --rr-overhead [--rcalls N] [--check]\n       \
@@ -51,6 +55,14 @@ fn usage() -> ! {
          bench --validate FILE..."
     );
     std::process::exit(2);
+}
+
+fn exit(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn git_output(args: &[&str]) -> Option<String> {
@@ -120,7 +132,7 @@ fn push_entry(doc: &mut Json, entry: Json) {
 
 /// Runs the flight-recorder replay; with `check`, the exit code reflects
 /// the drift and overhead gates.
-fn run_phases(check: bool) -> ExitCode {
+fn run_phases(check: bool) -> bool {
     let t = phases::run_null_flight();
     print!("{}", phases::render(&t));
     if check && !t.passes() {
@@ -131,16 +143,16 @@ fn run_phases(check: bool) -> ExitCode {
             t.recorder_overhead * 100.0,
             phases::MAX_RECORDER_OVERHEAD * 100.0
         );
-        return ExitCode::FAILURE;
+        return false;
     }
-    ExitCode::SUCCESS
+    true
 }
 
 /// Runs the interpreter-vs-compiled-plan stub comparison, appends the
 /// measurements to `BENCH_stubs.json`, and (with `check`) fails on any
 /// gate violation: <2x host speedup on `Null`/`BigIn`, a virtual-cost
 /// mismatch (asserted inside the run), or a §3.3 ratio off the paper's 4x.
-fn run_stubs(check: bool) -> ExitCode {
+fn run_stubs(check: bool) -> bool {
     let report = stubs::run(stubs::DEFAULT_ITERS);
     print!("{}", stubs::render(&report));
 
@@ -170,7 +182,7 @@ fn run_stubs(check: bool) -> ExitCode {
     push_entry(&mut doc, entry);
     if let Err(e) = std::fs::write(&path, doc.pretty()) {
         eprintln!("bench: cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
+        return false;
     }
     println!("wrote {}", path.display());
 
@@ -178,9 +190,9 @@ fn run_stubs(check: bool) -> ExitCode {
         for p in report.gate_failures() {
             eprintln!("bench: stub gate failed: {p}");
         }
-        return ExitCode::FAILURE;
+        return false;
     }
-    ExitCode::SUCCESS
+    true
 }
 
 /// Runs the bulk-plane payload sweep, appends the measurements to
@@ -188,7 +200,7 @@ fn run_stubs(check: bool) -> ExitCode {
 /// <2x host speedup over the per-call segment path at >=8 KB payloads.
 /// Virtual-charge identity and the zero-fallback steady state are
 /// asserted inside the run itself.
-fn run_bulk(check: bool) -> ExitCode {
+fn run_bulk(check: bool) -> bool {
     let report = bulk::run(bulk::DEFAULT_ITERS);
     print!("{}", bulk::render(&report));
 
@@ -223,7 +235,7 @@ fn run_bulk(check: bool) -> ExitCode {
     push_entry(&mut doc, entry);
     if let Err(e) = std::fs::write(&path, doc.pretty()) {
         eprintln!("bench: cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
+        return false;
     }
     println!("wrote {}", path.display());
 
@@ -231,9 +243,9 @@ fn run_bulk(check: bool) -> ExitCode {
         for p in report.gate_failures() {
             eprintln!("bench: bulk gate failed: {p}");
         }
-        return ExitCode::FAILURE;
+        return false;
     }
-    ExitCode::SUCCESS
+    true
 }
 
 /// Runs the call-ring batch-size sweep, appends the measurements to
@@ -241,7 +253,7 @@ fn run_bulk(check: bool) -> ExitCode {
 /// <2x the batch-of-1 virtual throughput at batch 16. The per-call
 /// phase/copy identity with the serial path and the one-trap-per-doorbell
 /// accounting are asserted inside the run itself.
-fn run_batch(check: bool) -> ExitCode {
+fn run_batch(check: bool) -> bool {
     let report = batch::run(batch::DEFAULT_ITERS);
     print!("{}", batch::render(&report));
 
@@ -277,7 +289,7 @@ fn run_batch(check: bool) -> ExitCode {
     push_entry(&mut doc, entry);
     if let Err(e) = std::fs::write(&path, doc.pretty()) {
         eprintln!("bench: cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
+        return false;
     }
     println!("wrote {}", path.display());
 
@@ -285,9 +297,202 @@ fn run_batch(check: bool) -> ExitCode {
         for p in report.gate_failures() {
             eprintln!("bench: batch gate failed: {p}");
         }
-        return ExitCode::FAILURE;
+        return false;
     }
-    ExitCode::SUCCESS
+    true
+}
+
+/// One mix's quantile stats as a JSON object.
+fn mix_stats_json(s: &tail::MixStats) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(s.count as f64)),
+        ("p50".into(), Json::Num(s.p50 as f64)),
+        ("p90".into(), Json::Num(s.p90 as f64)),
+        ("p99".into(), Json::Num(s.p99 as f64)),
+        ("p999".into(), Json::Num(s.p999 as f64)),
+        ("max".into(), Json::Num(s.max as f64)),
+        ("mean".into(), Json::Num(s.mean)),
+    ])
+}
+
+fn site_json(site: &workload::site::SiteSpec) -> Json {
+    Json::Obj(vec![
+        ("seed".into(), Json::Num(site.seed as f64)),
+        ("interfaces".into(), Json::Num(site.interfaces as f64)),
+        ("bindings".into(), Json::Num(site.bindings as f64)),
+        ("arrivals".into(), Json::Num(site.arrivals as f64)),
+        (
+            "mean_interarrival_ns".into(),
+            Json::Num(site.mean_interarrival_ns as f64),
+        ),
+        ("batch_share".into(), Json::Num(site.batch_share)),
+        ("bulk_share".into(), Json::Num(site.bulk_share)),
+        ("batch_size".into(), Json::Num(site.batch_size as f64)),
+        ("window_ns".into(), Json::Num(site.window_ns as f64)),
+    ])
+}
+
+/// Whether a persisted entry was produced by the same site parameters
+/// (the regression gate only compares like with like).
+fn site_matches(entry: &Json, site: &workload::site::SiteSpec) -> bool {
+    let Some(s) = entry.get("site") else {
+        return false;
+    };
+    let num = |key: &str| s.get(key).and_then(Json::as_f64);
+    let close = |key: &str, want: f64| num(key).is_some_and(|v| (v - want).abs() < 1e-9);
+    close("seed", site.seed as f64)
+        && close("interfaces", site.interfaces as f64)
+        && close("bindings", site.bindings as f64)
+        && close("arrivals", site.arrivals as f64)
+        && close("mean_interarrival_ns", site.mean_interarrival_ns as f64)
+        && close("batch_share", site.batch_share)
+        && close("bulk_share", site.bulk_share)
+        && close("batch_size", site.batch_size as f64)
+        && close("window_ns", site.window_ns as f64)
+}
+
+/// The overall virtual p99 of the newest persisted run with the same
+/// site parameters — the baseline the gate compares against.
+fn last_matching_p99(doc: &Json, site: &workload::site::SiteSpec) -> Option<u64> {
+    doc.get("trajectory")?
+        .as_arr()?
+        .iter()
+        .filter(|e| site_matches(e, site))
+        .filter_map(|e| e.get("virtual")?.get("all")?.get("p99")?.as_f64())
+        .next_back()
+        .map(|v| v as u64)
+}
+
+fn tail_entry(r: &tail::TailReport) -> Json {
+    let mixes = |stats: &[(&'static str, tail::MixStats)]| {
+        Json::Obj(
+            stats
+                .iter()
+                .map(|(m, s)| ((*m).into(), mix_stats_json(s)))
+                .collect(),
+        )
+    };
+    let windows: Vec<Json> = r
+        .windows
+        .iter()
+        .map(|w| {
+            Json::Obj(vec![
+                ("start_ns".into(), Json::Num(w.start_ns as f64)),
+                ("count".into(), Json::Num(w.count as f64)),
+                ("p50".into(), Json::Num(w.p50 as f64)),
+                ("p99".into(), Json::Num(w.p99 as f64)),
+                ("max".into(), Json::Num(w.max as f64)),
+            ])
+        })
+        .collect();
+    let attribution: Vec<Json> = r
+        .attribution
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("group".into(), Json::Str(p.group.into())),
+                ("ns".into(), Json::Num(p.ns as f64)),
+                ("share".into(), Json::Num(p.share)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("experiment".into(), Json::Str("site-tail-latency".into())),
+        ("site".into(), site_json(&r.spec.site)),
+        ("calls".into(), Json::Num(r.calls as f64)),
+        ("errors".into(), Json::Num(r.errors as f64)),
+        (
+            "total_virtual_ns".into(),
+            Json::Num(r.total_virtual_ns as f64),
+        ),
+        ("virtual".into(), mixes(&r.virt)),
+        ("windows".into(), Json::Arr(windows)),
+        ("attribution".into(), Json::Arr(attribution)),
+        ("tail_calls".into(), Json::Num(r.tail_calls as f64)),
+        (
+            "accounted_tail_calls".into(),
+            Json::Num(r.accounted_tail_calls as f64),
+        ),
+        ("span_coverage".into(), Json::Num(r.span_coverage)),
+        ("dropped_spans".into(), Json::Num(r.dropped_spans as f64)),
+        ("host".into(), mixes(&r.host)),
+        ("host_wall_ms".into(), Json::Num(r.host_wall_ms)),
+    ])
+}
+
+/// Runs the site-scale open-loop tail benchmark. Clean runs append to
+/// `BENCH_tail.json`; runs with an injected fault never persist (they
+/// exist to prove the regression gate trips). With `check`, the exit
+/// code reflects the run-local gates plus the cross-run p99 gate
+/// against the newest persisted entry with identical site parameters.
+fn run_tail(check: bool, fault_us: u64) -> bool {
+    let mut spec = tail::TailSpec::full();
+    spec.dispatch_delay_us = fault_us;
+    let report = tail::run(&spec);
+    print!("{}", tail::render(&report));
+
+    let path = repo_root().join("BENCH_tail.json");
+    let mut doc = load_or_init(&path, TAIL_SCHEMA, "site-tail-latency");
+    let prev_p99 = last_matching_p99(&doc, &spec.site);
+
+    if fault_us == 0 {
+        push_entry(&mut doc, tail_entry(&report));
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            return false;
+        }
+        println!("wrote {}", path.display());
+    } else {
+        println!("fault-injected run: not persisted");
+    }
+
+    if check {
+        let mut failures = report.gate_failures();
+        failures.extend(report.regression_failures(prev_p99));
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench: tail gate failed: {f}");
+            }
+            return false;
+        }
+        if prev_p99.is_none() {
+            println!("note: no previous run with these site parameters; p99 gate vacuous");
+        }
+    }
+    true
+}
+
+/// Runs every suite's `--check` gate back to back, then validates every
+/// BENCH trajectory file present at the repo root.
+fn run_all() -> bool {
+    let mut ok = true;
+    let mut gate = |name: &str, passed: bool| {
+        println!("\n== {name}: {} ==", if passed { "ok" } else { "FAILED" });
+        ok &= passed;
+    };
+    gate("phases", run_phases(true));
+    gate("stubs", run_stubs(true));
+    gate("bulk", run_bulk(true));
+    gate("batch", run_batch(true));
+    gate("tail", run_tail(true, 0));
+    gate("rr-overhead", run_rr_overhead(5_000, true));
+    let bench_files: Vec<String> = [
+        "BENCH_throughput.json",
+        "BENCH_latency.json",
+        "BENCH_stubs.json",
+        "BENCH_bulk.json",
+        "BENCH_batch.json",
+        "BENCH_tail.json",
+    ]
+    .iter()
+    .map(|f| repo_root().join(f))
+    .filter(|p| p.exists())
+    .map(|p| p.display().to_string())
+    .collect();
+    gate("validate", validate(&bench_files));
+    println!("\n== bench --all: {} ==", if ok { "ok" } else { "FAILED" });
+    ok
 }
 
 /// Silences backtraces from chaos-injected server panics (they are
@@ -403,7 +608,7 @@ fn run_replay(path: &str, check: bool) -> ExitCode {
 }
 
 /// Measures live-vs-record host overhead; with `check`, gate at 10%.
-fn run_rr_overhead(calls: usize, check: bool) -> ExitCode {
+fn run_rr_overhead(calls: usize, check: bool) -> bool {
     let r = rr::measure_overhead(calls);
     println!(
         "record/replay overhead over {} serial Null calls:\n  \
@@ -418,9 +623,9 @@ fn run_rr_overhead(calls: usize, check: bool) -> ExitCode {
     );
     if check && !r.passes() {
         eprintln!("bench: recording overhead gate failed");
-        return ExitCode::FAILURE;
+        return false;
     }
-    ExitCode::SUCCESS
+    true
 }
 
 /// Shrinks the built-in failing chaos schedule for `seed`.
@@ -536,6 +741,7 @@ fn validate_doc(doc: &Json) -> Vec<String> {
             | Some(STUBS_SCHEMA)
             | Some(BULK_SCHEMA)
             | Some(BATCH_SCHEMA)
+            | Some(TAIL_SCHEMA)
     ) {
         problems.push(format!("unknown or missing schema {schema:?}"));
     }
@@ -633,6 +839,44 @@ fn validate_doc(doc: &Json) -> Vec<String> {
             }
             continue;
         }
+        if schema == Some(TAIL_SCHEMA) {
+            if entry.get("site").is_none() {
+                problems.push(format!("entry {i}: missing `site` object"));
+            }
+            let Some(virt) = entry.get("virtual") else {
+                problems.push(format!("entry {i}: missing `virtual` object"));
+                continue;
+            };
+            for mix in ["all", "serial", "batch", "bulk"] {
+                let Some(m) = virt.get(mix) else {
+                    problems.push(format!("entry {i}: missing `virtual.{mix}`"));
+                    continue;
+                };
+                let q = |key: &str| m.get(key).and_then(Json::as_f64);
+                let (Some(count), Some(p50), Some(p99), Some(p999)) =
+                    (q("count"), q("p50"), q("p99"), q("p999"))
+                else {
+                    problems.push(format!("entry {i}: `virtual.{mix}` missing quantiles"));
+                    continue;
+                };
+                if count > 0.0 && !(p50 <= p99 && p99 <= p999) {
+                    problems.push(format!(
+                        "entry {i}: `virtual.{mix}` quantiles not monotone \
+                         (p50={p50} p99={p99} p999={p999})"
+                    ));
+                }
+            }
+            match entry.get("span_coverage").and_then(Json::as_f64) {
+                Some(c) if (0.0..=1.0).contains(&c) => {}
+                _ => problems.push(format!(
+                    "entry {i}: missing or out-of-range `span_coverage`"
+                )),
+            }
+            if entry.get("attribution").and_then(Json::as_arr).is_none() {
+                problems.push(format!("entry {i}: missing `attribution` array"));
+            }
+            continue;
+        }
         if entry.get("speedup_at_max").and_then(Json::as_f64).is_none() {
             problems.push(format!("entry {i}: missing number `speedup_at_max`"));
         }
@@ -663,7 +907,7 @@ fn validate_doc(doc: &Json) -> Vec<String> {
     problems
 }
 
-fn validate(paths: &[String]) -> ExitCode {
+fn validate(paths: &[String]) -> bool {
     let mut failed = false;
     for path in paths {
         let text = match std::fs::read_to_string(path) {
@@ -697,11 +941,7 @@ fn validate(paths: &[String]) -> ExitCode {
             failed = true;
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    !failed
 }
 
 fn main() -> ExitCode {
@@ -718,7 +958,7 @@ fn main() -> ExitCode {
                     [flag] if flag == "--check" => true,
                     _ => usage(),
                 };
-                return run_phases(check);
+                return exit(run_phases(check));
             }
             "--stubs" => {
                 let rest = &args[i + 1..];
@@ -727,7 +967,7 @@ fn main() -> ExitCode {
                     [flag] if flag == "--check" => true,
                     _ => usage(),
                 };
-                return run_stubs(check);
+                return exit(run_stubs(check));
             }
             "--bulk" => {
                 let rest = &args[i + 1..];
@@ -736,7 +976,7 @@ fn main() -> ExitCode {
                     [flag] if flag == "--check" => true,
                     _ => usage(),
                 };
-                return run_bulk(check);
+                return exit(run_bulk(check));
             }
             "--batch" => {
                 let rest = &args[i + 1..];
@@ -745,7 +985,33 @@ fn main() -> ExitCode {
                     [flag] if flag == "--check" => true,
                     _ => usage(),
                 };
-                return run_batch(check);
+                return exit(run_batch(check));
+            }
+            "--tail" => {
+                let mut check = false;
+                let mut fault_us = 0u64;
+                let mut j = i + 1;
+                while j < args.len() {
+                    match args[j].as_str() {
+                        "--check" => check = true,
+                        "--tail-fault-us" => {
+                            j += 1;
+                            fault_us = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage());
+                        }
+                        _ => usage(),
+                    }
+                    j += 1;
+                }
+                return exit(run_tail(check, fault_us));
+            }
+            "--all" => {
+                if args.len() != 1 {
+                    usage();
+                }
+                return exit(run_all());
             }
             "--record" => {
                 let path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -809,7 +1075,7 @@ fn main() -> ExitCode {
                     }
                     j += 1;
                 }
-                return run_rr_overhead(calls, check);
+                return exit(run_rr_overhead(calls, check));
             }
             "--shrink" => {
                 let mut seed = 1234u64;
@@ -842,7 +1108,7 @@ fn main() -> ExitCode {
                 if rest.is_empty() {
                     usage();
                 }
-                return validate(rest);
+                return exit(validate(rest));
             }
             "--calls" => {
                 i += 1;

@@ -16,3 +16,4 @@ pub mod json;
 pub mod phases;
 pub mod rr;
 pub mod stubs;
+pub mod tail;

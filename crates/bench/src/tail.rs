@@ -1,0 +1,770 @@
+//! Site-scale open-loop tail-latency benchmark with per-phase p99
+//! attribution.
+//!
+//! `workload::site` emits the plan — hundreds of interfaces, tens of
+//! thousands of bindings, seeded exponential arrivals mixing serial
+//! calls, `call_batch` ring flushes, and bulk-arena payloads. This
+//! module executes it on a one-CPU C-VAX Firefly and accounts for the
+//! tail three ways:
+//!
+//! * **Per-mix quantiles.** Every call's *open-loop* virtual latency
+//!   (completion − scheduled arrival, so backlog queueing counts) lands
+//!   in an HDR [`obs::TailHistogram`] per workload mix; host wall time
+//!   is recorded alongside but never gated — the host runs a simulator.
+//! * **A windowed time-series** over virtual completion time, so a burst
+//!   that queues behind a batch or a bulk copy shows up in *its* window's
+//!   p99 instead of being averaged away.
+//! * **Tail attribution.** Calls strictly above the overall virtual p99
+//!   are joined with their flight-recorder spans (every charge site
+//!   emits one, even on unmetered calls) and decomposed into phase
+//!   groups — open-loop queue wait, trap/crossing, stubs, copies,
+//!   A-/E-stack waits, ring descriptor ops, dispatch — whose shares sum
+//!   to 100 % of the accounted virtual time by construction. The flight
+//!   ring's dropped counter turns silent sampling into a reported
+//!   *coverage* number.
+//!
+//! Determinism contract: everything under the `virtual` key of the
+//! persisted entry is a pure function of the [`TailSpec`] — same spec,
+//! byte-identical stats — which is what lets `BENCH_tail.json` gate p99
+//! across PRs at a tight tolerance.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use firefly::cost::CostModel;
+use firefly::cpu::Machine;
+use firefly::fault::{FaultConfig, FaultPlan};
+use firefly::meter::Phase;
+use firefly::time::Nanos;
+use idl::wire::Value;
+use kernel::kernel::Kernel;
+use kernel::thread::Thread;
+use lrpc::{Binding, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+use obs::latency::{TailHistogram, TailSnapshot, WindowedSeries};
+use workload::site::{
+    generate_site, interface_name, CallKind, SitePlan, SiteSpec, PROC_GET, PROC_PUT, PROC_SEND,
+};
+
+use crate::common::flight_lock;
+
+/// Client domains the bindings are spread over (bindings round-robin).
+pub const CLIENT_DOMAINS: usize = 8;
+
+/// Relative p99 regression the cross-PR gate tolerates. The virtual
+/// stats are deterministic, so any slack only absorbs *intentional*
+/// cost-model drift, not noise.
+pub const P99_TOLERANCE: f64 = 0.05;
+
+/// Minimum share of above-p99 calls whose spans survived in the flight
+/// ring. Check-sized runs size the ring to hold everything, so this only
+/// trips if the ring was created too small (or shrunk by another user).
+pub const MIN_SPAN_COVERAGE: f64 = 0.95;
+
+/// Flight-ring capacity ceiling, spans (~40 B each).
+const MAX_FLIGHT_CAPACITY: usize = 2_000_000;
+
+/// Spans a single call can emit, with headroom.
+const SPANS_PER_CALL: usize = 24;
+
+/// What one tail run executes: the site plan spec plus the injected
+/// regression knob used to prove the gate trips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailSpec {
+    pub site: SiteSpec,
+    /// When nonzero, every dispatch is delayed this many virtual µs via
+    /// the fault plane — the "known regression" the gate must catch.
+    /// Runs with a nonzero knob are never persisted.
+    pub dispatch_delay_us: u64,
+}
+
+impl TailSpec {
+    pub fn full() -> TailSpec {
+        TailSpec {
+            site: SiteSpec::full(),
+            dispatch_delay_us: 0,
+        }
+    }
+
+    pub fn ci() -> TailSpec {
+        TailSpec {
+            site: SiteSpec::ci(),
+            dispatch_delay_us: 0,
+        }
+    }
+}
+
+/// The workload mixes stats are reported for.
+pub const MIXES: [&str; 4] = ["all", "serial", "batch", "bulk"];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mix {
+    Serial,
+    Batch,
+    Bulk,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Serial => "serial",
+            Mix::Batch => "batch",
+            Mix::Bulk => "bulk",
+        }
+    }
+}
+
+/// Quantile summary of one mix, virtual or host ns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixStats {
+    pub count: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub max: u64,
+    pub mean: f64,
+}
+
+impl MixStats {
+    fn from_snapshot(s: &TailSnapshot) -> MixStats {
+        MixStats {
+            count: s.count,
+            p50: s.quantile(0.50).unwrap_or(0),
+            p90: s.quantile(0.90).unwrap_or(0),
+            p99: s.quantile(0.99).unwrap_or(0),
+            p999: s.quantile(0.999).unwrap_or(0),
+            max: s.max,
+            mean: s.mean(),
+        }
+    }
+}
+
+/// One window of the virtual-time latency series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRow {
+    pub start_ns: u64,
+    pub count: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// One phase group's share of the above-p99 virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseShare {
+    pub group: &'static str,
+    pub ns: u64,
+    pub share: f64,
+}
+
+/// Everything one tail run measured.
+#[derive(Clone, Debug)]
+pub struct TailReport {
+    pub spec: TailSpec,
+    /// Individual calls executed (batch arrivals expanded).
+    pub calls: u64,
+    /// Calls that returned an error (none expected on the clean plan).
+    pub errors: u64,
+    /// Virtual-latency stats per mix, keyed in [`MIXES`] order.
+    pub virt: Vec<(&'static str, MixStats)>,
+    /// Host wall-clock stats per mix (informational, not gated).
+    pub host: Vec<(&'static str, MixStats)>,
+    /// Virtual-time latency series, window width `spec.site.window_ns`.
+    pub windows: Vec<WindowRow>,
+    /// Above-p99 phase decomposition, descending by time.
+    pub attribution: Vec<PhaseShare>,
+    /// Calls strictly above the overall virtual p99.
+    pub tail_calls: u64,
+    /// Tail calls whose flight spans survived to be joined.
+    pub accounted_tail_calls: u64,
+    /// `accounted / tail_calls` (1.0 when the tail is empty).
+    pub span_coverage: f64,
+    /// Flight spans overwritten unread during this run (process-wide
+    /// delta of `obs_flight_dropped_total`).
+    pub dropped_spans: u64,
+    /// Virtual clock at the end of the run.
+    pub total_virtual_ns: u64,
+    /// Host wall time of the measured loop.
+    pub host_wall_ms: f64,
+}
+
+/// Maps a flight-span phase code onto an attribution group. The groups
+/// follow the ISSUE's taxonomy: crossing (trap/transfer/switch/exchange),
+/// stubs, copies, resource waits (A-stack/E-stack), ring descriptor ops,
+/// dispatch+validation, the server procedure itself, and a residue.
+fn phase_group(code: u16) -> &'static str {
+    use Phase::*;
+    match Phase::from_code(code) {
+        Trap | KernelTransfer | ContextSwitch | ProcessorExchange => "trap+crossing",
+        ClientStub | ServerStub | ProcedureCall | Marshal => "stub",
+        ArgCopy | MessageTransfer | BufferManagement | OobSegment => "copy",
+        Wait => "astack/estack wait",
+        QueueOp => "ring descriptor ops",
+        Dispatch | Scheduling | Validation => "dispatch+validate",
+        ServerProcedure => "server procedure",
+        Network | Other => "other",
+    }
+}
+
+/// The synthetic group for open-loop backlog (arrival happened while the
+/// CPU was still serving earlier traffic); not a flight span.
+const QUEUE_WAIT_GROUP: &str = "open-loop queue wait";
+
+struct SiteEnv {
+    rt: Arc<LrpcRuntime>,
+    threads: Vec<Arc<Thread>>,
+    bindings: Vec<Binding>,
+}
+
+fn handlers(bulk: bool) -> Vec<Handler> {
+    let mut v: Vec<Handler> = vec![
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let (Value::Int32(a), Value::Int32(b)) = (&args[0], &args[1]) else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(a.wrapping_add(*b))))
+        }),
+        Box::new(|_: &ServerCtx, args: &[Value]| {
+            let Value::Int32(h) = &args[0] else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(*h)))
+        }),
+    ];
+    if bulk {
+        v.push(Box::new(|_: &ServerCtx, args: &[Value]| {
+            let Value::Var(data) = &args[0] else {
+                unreachable!("stubs decoded the declared types")
+            };
+            Ok(Reply::value(Value::Int32(data.len() as i32)))
+        }));
+    }
+    v
+}
+
+fn build_env(plan: &SitePlan, dispatch_delay_us: u64) -> SiteEnv {
+    let rt = LrpcRuntime::with_config(
+        Kernel::new(Machine::new(1, CostModel::cvax_firefly())),
+        RuntimeConfig {
+            domain_caching: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    if dispatch_delay_us > 0 {
+        rt.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            dispatch_delay_us,
+            ..FaultConfig::default()
+        })));
+    }
+    for (i, idl) in plan.idls.iter().enumerate() {
+        let server = rt.kernel().create_domain(format!("site-srv-{i:03}"));
+        rt.export(&server, idl, handlers(plan.bulk_flavored[i]))
+            .expect("site interface exports");
+    }
+    let clients: Vec<_> = (0..CLIENT_DOMAINS)
+        .map(|i| rt.kernel().create_domain(format!("site-client-{i}")))
+        .collect();
+    let threads: Vec<Arc<Thread>> = clients
+        .iter()
+        .map(|c| rt.kernel().spawn_thread(c))
+        .collect();
+    let bindings: Vec<Binding> = (0..plan.spec.bindings)
+        .map(|b| {
+            let iface = plan.binding_interface(b);
+            rt.import(&clients[b % CLIENT_DOMAINS], &interface_name(iface))
+                .expect("site binding imports")
+        })
+        .collect();
+    SiteEnv {
+        rt,
+        threads,
+        bindings,
+    }
+}
+
+struct CallRec {
+    trace: u64,
+    mix: Mix,
+    latency_ns: u64,
+    queue_wait_ns: u64,
+    completion_ns: u64,
+    wall_ns: u64,
+}
+
+/// Runs the plan. Holds the process-wide flight lock for the whole
+/// toggle-run-snapshot window; the traffic executes on a fresh worker
+/// thread so its flight ring is created at the requested capacity even
+/// if this thread recorded (with a smaller ring) earlier in the process.
+pub fn run(spec: &TailSpec) -> TailReport {
+    let plan = generate_site(&spec.site);
+    let env = build_env(&plan, spec.dispatch_delay_us);
+
+    let _flight = flight_lock();
+    let capacity = (plan.total_calls() * SPANS_PER_CALL).clamp(4096, MAX_FLIGHT_CAPACITY);
+    obs::flight::enable_with_capacity(capacity);
+    let dropped_before = obs::flight::dropped_total();
+
+    let wall_start = Instant::now();
+    let (records, errors) = std::thread::scope(|s| {
+        s.spawn(|| execute(&plan, &env))
+            .join()
+            .expect("tail worker")
+    });
+    let host_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    obs::flight::disable();
+    let dropped_spans = obs::flight::dropped_total() - dropped_before;
+    let total_virtual_ns = env.rt.kernel().machine().cpu(0).now().as_nanos();
+
+    // Per-mix quantiles, virtual and host.
+    let virt_all = TailHistogram::new();
+    let host_all = TailHistogram::new();
+    let mut virt_mix: BTreeMap<&'static str, TailHistogram> = BTreeMap::new();
+    let mut host_mix: BTreeMap<&'static str, TailHistogram> = BTreeMap::new();
+    let mut windows = WindowedSeries::new(spec.site.window_ns);
+    for r in &records {
+        virt_all.observe(r.latency_ns);
+        host_all.observe(r.wall_ns);
+        virt_mix
+            .entry(r.mix.name())
+            .or_default()
+            .observe(r.latency_ns);
+        host_mix.entry(r.mix.name()).or_default().observe(r.wall_ns);
+        windows.observe(r.completion_ns, r.latency_ns);
+    }
+    let stats_for = |map: &BTreeMap<&'static str, TailHistogram>,
+                     all: &TailHistogram|
+     -> Vec<(&'static str, MixStats)> {
+        MIXES
+            .iter()
+            .map(|&m| {
+                let snap = if m == "all" {
+                    all.snapshot()
+                } else {
+                    map.get(m).map(|h| h.snapshot()).unwrap_or_default()
+                };
+                (m, MixStats::from_snapshot(&snap))
+            })
+            .collect()
+    };
+    let virt = stats_for(&virt_mix, &virt_all);
+    let host = stats_for(&host_mix, &host_all);
+
+    let window_rows: Vec<WindowRow> = windows
+        .snapshot()
+        .into_iter()
+        .map(|(start_ns, s)| WindowRow {
+            start_ns,
+            count: s.count,
+            p50: s.quantile(0.50).unwrap_or(0),
+            p99: s.quantile(0.99).unwrap_or(0),
+            max: s.max,
+        })
+        .collect();
+
+    // Tail attribution: join calls strictly above the overall virtual
+    // p99 with their flight spans.
+    let p99_all = virt_all.snapshot().quantile(0.99).unwrap_or(0);
+    let tail_recs: Vec<&CallRec> = records.iter().filter(|r| r.latency_ns > p99_all).collect();
+    let tail_traces: HashSet<u64> = tail_recs.iter().map(|r| r.trace).collect();
+    let mut spans_by_trace: BTreeMap<u64, Vec<(u16, u64)>> = BTreeMap::new();
+    for span in obs::flight::snapshot() {
+        let raw = span.trace.raw();
+        if tail_traces.contains(&raw) {
+            spans_by_trace
+                .entry(raw)
+                .or_default()
+                .push((span.phase, span.dur_ns));
+        }
+    }
+    let mut group_ns: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut accounted = 0u64;
+    let mut accounted_ns = 0u64;
+    for r in &tail_recs {
+        let Some(spans) = spans_by_trace.get(&r.trace) else {
+            continue; // spans overwritten; reported via coverage
+        };
+        accounted += 1;
+        *group_ns.entry(QUEUE_WAIT_GROUP).or_insert(0) += r.queue_wait_ns;
+        accounted_ns += r.queue_wait_ns;
+        for &(code, dur) in spans {
+            *group_ns.entry(phase_group(code)).or_insert(0) += dur;
+            accounted_ns += dur;
+        }
+    }
+    let mut attribution: Vec<PhaseShare> = group_ns
+        .into_iter()
+        .map(|(group, ns)| PhaseShare {
+            group,
+            ns,
+            share: if accounted_ns > 0 {
+                ns as f64 / accounted_ns as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    attribution.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.group.cmp(b.group)));
+    let tail_calls = tail_recs.len() as u64;
+    let span_coverage = if tail_calls == 0 {
+        1.0
+    } else {
+        accounted as f64 / tail_calls as f64
+    };
+
+    TailReport {
+        spec: spec.clone(),
+        calls: records.len() as u64,
+        errors,
+        virt,
+        host,
+        windows: window_rows,
+        attribution,
+        tail_calls,
+        accounted_tail_calls: accounted,
+        span_coverage,
+        dropped_spans,
+        total_virtual_ns,
+        host_wall_ms,
+    }
+}
+
+/// The measured loop: replays the arrival schedule open-loop over the
+/// one simulated CPU. Runs on its own thread (fresh flight ring).
+fn execute(plan: &SitePlan, env: &SiteEnv) -> (Vec<CallRec>, u64) {
+    let cpu = env.rt.kernel().machine().cpu(0);
+    let put_name = vec![0u8; 16];
+    let mut records = Vec::with_capacity(plan.total_calls());
+    let mut errors = 0u64;
+    for arrival in &plan.arrivals {
+        let at = Nanos::from_nanos(arrival.at_ns);
+        // Open loop: an idle CPU sleeps until the scheduled arrival; a
+        // busy one is already past it and the backlog becomes queue wait
+        // inside the measured latency.
+        cpu.advance_to(at);
+        let queue_wait_ns = (cpu.now() - at).as_nanos();
+        let binding = &env.bindings[arrival.binding];
+        let thread = &env.threads[arrival.binding % CLIENT_DOMAINS];
+        let wall = Instant::now();
+        match arrival.kind {
+            CallKind::Serial { proc } => {
+                let args: Vec<Value> = match proc {
+                    PROC_GET => vec![Value::Int32(1), Value::Int32(2)],
+                    PROC_PUT => vec![Value::Int32(1), Value::Bytes(put_name.clone())],
+                    _ => unreachable!("serial mix only draws Get/Put"),
+                };
+                match binding.call_unmetered(0, thread, proc, &args) {
+                    Err(e) if std::env::var("TAIL_DEBUG").is_ok() => {
+                        eprintln!("serial proc={proc} err={e:?}");
+                        errors += 1;
+                    }
+                    Ok(out) => records.push(CallRec {
+                        trace: out.trace.raw(),
+                        mix: Mix::Serial,
+                        latency_ns: (cpu.now() - at).as_nanos(),
+                        queue_wait_ns,
+                        completion_ns: cpu.now().as_nanos(),
+                        wall_ns: wall.elapsed().as_nanos() as u64,
+                    }),
+                    Err(_) => errors += 1,
+                }
+            }
+            CallKind::Bulk { bytes } => {
+                let args = vec![Value::Var(vec![0xA5; bytes as usize])];
+                match binding.call_unmetered(0, thread, PROC_SEND, &args) {
+                    Err(e) if std::env::var("TAIL_DEBUG").is_ok() => {
+                        eprintln!("bulk bytes={} err={e:?}", args.len());
+                        errors += 1;
+                    }
+                    Ok(out) => records.push(CallRec {
+                        trace: out.trace.raw(),
+                        mix: Mix::Bulk,
+                        latency_ns: (cpu.now() - at).as_nanos(),
+                        queue_wait_ns,
+                        completion_ns: cpu.now().as_nanos(),
+                        wall_ns: wall.elapsed().as_nanos() as u64,
+                    }),
+                    Err(_) => errors += 1,
+                }
+            }
+            CallKind::Batch { calls } => {
+                let requests: Vec<(usize, Vec<Value>)> = (0..calls)
+                    .map(|i| (PROC_GET, vec![Value::Int32(i as i32), Value::Int32(2)]))
+                    .collect();
+                match binding.call_batch(0, thread, requests) {
+                    Err(e) if std::env::var("TAIL_DEBUG").is_ok() => {
+                        eprintln!("batch calls={calls} err={e:?}");
+                        errors += calls as u64;
+                    }
+                    Ok(out) => {
+                        // Every batched call completes at the reap; its
+                        // open-loop latency runs from the shared arrival.
+                        let completion_ns = cpu.now().as_nanos();
+                        let latency_ns = (cpu.now() - at).as_nanos();
+                        let wall_each = wall.elapsed().as_nanos() as u64 / calls.max(1) as u64;
+                        for res in &out.results {
+                            match res {
+                                Ok(o) => records.push(CallRec {
+                                    trace: o.trace.raw(),
+                                    mix: Mix::Batch,
+                                    latency_ns,
+                                    queue_wait_ns,
+                                    completion_ns,
+                                    wall_ns: wall_each,
+                                }),
+                                Err(_) => errors += 1,
+                            }
+                        }
+                    }
+                    Err(_) => errors += calls as u64,
+                }
+            }
+        }
+    }
+    (records, errors)
+}
+
+impl TailReport {
+    fn virt_stats(&self, mix: &str) -> &MixStats {
+        &self
+            .virt
+            .iter()
+            .find(|(m, _)| *m == mix)
+            .expect("MIXES covers every mix")
+            .1
+    }
+
+    /// The overall virtual p99 — the number the cross-PR gate pins.
+    pub fn p99_all(&self) -> u64 {
+        self.virt_stats("all").p99
+    }
+
+    /// Run-local gate violations (quantile ordering, attribution
+    /// closure, span coverage, clean execution).
+    pub fn gate_failures(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.errors > 0 {
+            problems.push(format!("{} calls failed on a clean plan", self.errors));
+        }
+        for (mix, s) in self.virt.iter().chain(self.host.iter()) {
+            if s.count == 0 {
+                continue;
+            }
+            if !(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max) {
+                problems.push(format!(
+                    "{mix}: quantiles not monotone (p50={} p90={} p99={} p999={} max={})",
+                    s.p50, s.p90, s.p99, s.p999, s.max
+                ));
+            }
+        }
+        if self.accounted_tail_calls > 0 {
+            let total: f64 = self.attribution.iter().map(|p| p.share).sum();
+            if (total - 1.0).abs() > 1e-6 {
+                problems.push(format!(
+                    "attribution shares sum to {total}, not 100% of accounted time"
+                ));
+            }
+        }
+        if self.span_coverage < MIN_SPAN_COVERAGE {
+            problems.push(format!(
+                "span coverage {:.3} below {MIN_SPAN_COVERAGE} ({} of {} tail calls joined, \
+                 {} spans dropped)",
+                self.span_coverage, self.accounted_tail_calls, self.tail_calls, self.dropped_spans
+            ));
+        }
+        problems
+    }
+
+    /// The cross-PR gate: overall virtual p99 must not regress more than
+    /// [`P99_TOLERANCE`] over the previous persisted run with identical
+    /// parameters.
+    pub fn regression_failures(&self, prev_p99_all: Option<u64>) -> Vec<String> {
+        let mut problems = Vec::new();
+        if let Some(prev) = prev_p99_all {
+            let limit = prev as f64 * (1.0 + P99_TOLERANCE);
+            if self.p99_all() as f64 > limit {
+                problems.push(format!(
+                    "virtual p99 regressed: {} ns vs previous {} ns (limit {:.0})",
+                    self.p99_all(),
+                    prev,
+                    limit
+                ));
+            }
+        }
+        problems
+    }
+
+    pub fn passes(&self, prev_p99_all: Option<u64>) -> bool {
+        self.gate_failures().is_empty() && self.regression_failures(prev_p99_all).is_empty()
+    }
+}
+
+/// Renders the report.
+pub fn render(r: &TailReport) -> String {
+    let mut out = format!(
+        "Site tail latency: {} calls over {} arrivals, {:.1} virtual s, {:.0} host ms\n\
+         ({} interfaces, {} bindings, mean gap {} ns, seed {}{})\n\n",
+        r.calls,
+        r.spec.site.arrivals,
+        r.total_virtual_ns as f64 / 1e9,
+        r.host_wall_ms,
+        r.spec.site.interfaces,
+        r.spec.site.bindings,
+        r.spec.site.mean_interarrival_ns,
+        r.spec.site.seed,
+        if r.spec.dispatch_delay_us > 0 {
+            format!(", FAULT dispatch +{}us", r.spec.dispatch_delay_us)
+        } else {
+            String::new()
+        }
+    );
+    let quant_rows = |stats: &[(&'static str, MixStats)]| -> Vec<Vec<String>> {
+        stats
+            .iter()
+            .map(|(m, s)| {
+                vec![
+                    m.to_string(),
+                    s.count.to_string(),
+                    s.p50.to_string(),
+                    s.p90.to_string(),
+                    s.p99.to_string(),
+                    s.p999.to_string(),
+                    s.max.to_string(),
+                    format!("{:.0}", s.mean),
+                ]
+            })
+            .collect()
+    };
+    out.push_str("Virtual ns (open-loop: queueing included; gated):\n");
+    out.push_str(&crate::common::format_table(
+        &["mix", "count", "p50", "p90", "p99", "p999", "max", "mean"],
+        &quant_rows(&r.virt),
+    ));
+    out.push_str("\nHost ns (simulator wall time; informational):\n");
+    out.push_str(&crate::common::format_table(
+        &["mix", "count", "p50", "p90", "p99", "p999", "max", "mean"],
+        &quant_rows(&r.host),
+    ));
+
+    // The worst windows localize tail spikes in time.
+    let mut worst: Vec<&WindowRow> = r.windows.iter().collect();
+    worst.sort_by(|a, b| b.p99.cmp(&a.p99).then(a.start_ns.cmp(&b.start_ns)));
+    out.push_str(&format!(
+        "\nWorst windows by p99 ({} windows of {} ms):\n",
+        r.windows.len(),
+        r.spec.site.window_ns / 1_000_000
+    ));
+    let rows: Vec<Vec<String>> = worst
+        .iter()
+        .take(5)
+        .map(|w| {
+            vec![
+                format!("{:.2}s", w.start_ns as f64 / 1e9),
+                w.count.to_string(),
+                w.p50.to_string(),
+                w.p99.to_string(),
+                w.max.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::common::format_table(
+        &["window", "count", "p50", "p99", "max"],
+        &rows,
+    ));
+
+    out.push_str(&format!(
+        "\nAbove-p99 attribution ({} tail calls, {} joined, coverage {:.1}%, \
+         {} spans dropped):\n",
+        r.tail_calls,
+        r.accounted_tail_calls,
+        r.span_coverage * 100.0,
+        r.dropped_spans
+    ));
+    let rows: Vec<Vec<String>> = r
+        .attribution
+        .iter()
+        .map(|p| {
+            vec![
+                p.group.to_string(),
+                p.ns.to_string(),
+                format!("{:.1}%", p.share * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::common::format_table(
+        &["phase", "ns", "share"],
+        &rows,
+    ));
+    for f in r.gate_failures() {
+        out.push_str(&format!("GATE: {f}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(dispatch_delay_us: u64) -> TailSpec {
+        TailSpec {
+            site: SiteSpec {
+                seed: 11,
+                interfaces: 8,
+                bindings: 64,
+                arrivals: 400,
+                mean_interarrival_ns: 300_000,
+                batch_share: 0.10,
+                bulk_share: 0.15,
+                batch_size: 4,
+                window_ns: 10_000_000,
+            },
+            dispatch_delay_us,
+        }
+    }
+
+    fn virt_digest(r: &TailReport) -> String {
+        // Everything deterministic: virtual quantiles, windows,
+        // attribution. (Host stats and wall time excluded.)
+        format!("{:?}|{:?}|{:?}", r.virt, r.windows, r.attribution)
+    }
+
+    #[test]
+    fn run_is_deterministic_and_passes_gates() {
+        let a = run(&tiny(0));
+        assert!(
+            a.gate_failures().is_empty(),
+            "gates failed: {:?}",
+            a.gate_failures()
+        );
+        assert_eq!(a.errors, 0);
+        assert!(a.calls as usize >= tiny(0).site.arrivals);
+        assert!(a.tail_calls > 0, "an open-loop run must have a tail");
+        assert!(
+            (a.span_coverage - 1.0).abs() < f64::EPSILON,
+            "ring sized for the whole run joins every tail call"
+        );
+        // Attribution must include real phase groups, not just queue wait.
+        assert!(a.attribution.iter().any(|p| p.group == "stub"));
+        let b = run(&tiny(0));
+        assert_eq!(virt_digest(&a), virt_digest(&b), "same spec, same stats");
+    }
+
+    #[test]
+    fn injected_dispatch_delay_trips_the_p99_gate() {
+        let clean = run(&tiny(0));
+        let faulted = run(&tiny(500));
+        assert!(
+            faulted.p99_all() > clean.p99_all(),
+            "a 500us dispatch delay must inflate p99 ({} vs {})",
+            faulted.p99_all(),
+            clean.p99_all()
+        );
+        assert!(clean.regression_failures(Some(clean.p99_all())).is_empty());
+        assert!(
+            !faulted
+                .regression_failures(Some(clean.p99_all()))
+                .is_empty(),
+            "the gate must catch the injected regression"
+        );
+    }
+}

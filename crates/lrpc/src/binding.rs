@@ -214,6 +214,11 @@ pub struct BindingStats {
     /// Calls per submitted batch, attached the same way as
     /// `lrpc_batch_size:{interface}`.
     batch_size: OnceLock<obs::Histogram>,
+    /// High-resolution per-call latency (HDR-style sub-octave buckets,
+    /// so p99/p999 are resolvable), attached the same way as
+    /// `lrpc_tail_latency_ns:{interface}`. Stamped on every completion
+    /// path — serial, batch reap, and the remote branch.
+    tail_latency: OnceLock<obs::TailHistogram>,
 }
 
 impl BindingStats {
@@ -324,6 +329,22 @@ impl BindingStats {
     pub(crate) fn observe_batch_size(&self, calls: u64) {
         if let Some(h) = self.batch_size.get() {
             h.observe(calls);
+        }
+    }
+
+    /// Attaches the tail-latency histogram. First attachment wins.
+    pub fn attach_tail_latency(&self, tail: obs::TailHistogram) {
+        let _ = self.tail_latency.set(tail);
+    }
+
+    /// The attached tail-latency histogram, if any.
+    pub fn tail_latency(&self) -> Option<&obs::TailHistogram> {
+        self.tail_latency.get()
+    }
+
+    pub(crate) fn observe_tail_latency(&self, elapsed: Nanos) {
+        if let Some(t) = self.tail_latency.get() {
+            t.observe(elapsed.as_nanos());
         }
     }
 }

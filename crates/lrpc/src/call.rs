@@ -301,6 +301,7 @@ pub(crate) fn lrpc_call(
         let elapsed = cpu.now() - start;
         client_state.stats.note_call();
         client_state.stats.observe_latency(elapsed);
+        client_state.stats.observe_tail_latency(elapsed);
         return Ok(CallOutcome {
             ret,
             outs,
@@ -823,6 +824,7 @@ pub(crate) fn lrpc_call(
     let elapsed = cpu.now() - start;
     client_state.stats.note_call();
     client_state.stats.observe_latency(elapsed);
+    client_state.stats.observe_tail_latency(elapsed);
     if metered {
         // Virtual time the four stub halves cost this call, for the
         // per-interface `lrpc_stub_ns` histogram.

@@ -1094,6 +1094,7 @@ fn flush(
         let elapsed = cpu.now() - pc.start;
         state.stats.note_call();
         state.stats.observe_latency(elapsed);
+        state.stats.observe_tail_latency(elapsed);
         if env.metered {
             state.stats.observe_stub_ns(
                 pc.meter.total_for(Phase::ClientStub)

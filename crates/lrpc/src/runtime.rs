@@ -323,6 +323,9 @@ impl LrpcRuntime {
         state
             .stats
             .attach_batch_size(self.metrics.histogram(&format!("lrpc_batch_size:{name}")));
+        state
+            .stats
+            .attach_tail_latency(self.metrics.tail(&format!("lrpc_tail_latency_ns:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -406,6 +409,9 @@ impl LrpcRuntime {
         state
             .stats
             .attach_stub_ns(self.metrics.histogram(&format!("lrpc_stub_ns:{name}")));
+        state
+            .stats
+            .attach_tail_latency(self.metrics.tail(&format!("lrpc_tail_latency_ns:{name}")));
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -622,6 +628,13 @@ impl LrpcRuntime {
         if let Some(plan) = self.fault_plan() {
             m.gauge("fault_events_total").set(plan.event_count() as i64);
         }
+
+        // Flight-recorder overwrite loss (process-wide: rings are
+        // per-thread, not per-runtime). A true counter, advanced by the
+        // delta since the last sweep, so tail attribution can report span
+        // coverage instead of silently sampling.
+        let dropped = m.counter("obs_flight_dropped_total");
+        dropped.add(obs::flight::dropped_total().saturating_sub(dropped.get()));
 
         m.snapshot()
     }

@@ -8,6 +8,15 @@
 use crate::flight::SpanRecord;
 use crate::metrics::{MetricValue, Snapshot};
 
+/// The quantiles both exporters surface for histogram-shaped metrics:
+/// `(q, Prometheus quantile label, JSON key)`.
+pub const EXPORT_QUANTILES: [(f64, &str, &str); 4] = [
+    (0.50, "0.5", "p50"),
+    (0.90, "0.9", "p90"),
+    (0.99, "0.99", "p99"),
+    (0.999, "0.999", "p999"),
+];
+
 /// Escapes `s` for inclusion inside a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -25,12 +34,21 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn json_quantiles(q: &dyn Fn(f64) -> Option<u64>) -> String {
+    EXPORT_QUANTILES
+        .iter()
+        .map(|&(quant, _, key)| format!("\"{key}\":{}", q(quant).unwrap_or(0)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Encodes a metrics snapshot as a JSON object:
-/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"buckets":[[le,n],..]}}}`.
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,"buckets":[[le,n],..]}},"tails":{name:{"count":..,"sum":..,"max":..,"p50":..,"p90":..,"p99":..,"p999":..}}}`.
 pub fn metrics_to_json(snapshot: &Snapshot) -> String {
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
+    let mut tails = Vec::new();
     for m in &snapshot.metrics {
         let name = json_escape(&m.name);
         match &m.value {
@@ -49,13 +67,23 @@ pub fn metrics_to_json(snapshot: &Snapshot) -> String {
                     buckets.join(",")
                 ));
             }
+            MetricValue::Tail(t) => {
+                tails.push(format!(
+                    "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},{}}}",
+                    t.count,
+                    t.sum,
+                    t.max,
+                    json_quantiles(&|q| t.quantile(q))
+                ));
+            }
         }
     }
     format!(
-        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"tails\":{{{}}}}}",
         counters.join(","),
         gauges.join(","),
-        histograms.join(",")
+        histograms.join(","),
+        tails.join(",")
     )
 }
 
@@ -82,9 +110,21 @@ fn prometheus_name(name: &str) -> String {
     out
 }
 
+fn prometheus_quantiles(out: &mut String, name: &str, q: &dyn Fn(f64) -> Option<u64>) {
+    for &(quant, label, _) in &EXPORT_QUANTILES {
+        if let Some(v) = q(quant) {
+            out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+        }
+    }
+}
+
 /// Encodes a metrics snapshot in the Prometheus text exposition format.
 /// Histograms emit cumulative `_bucket{le=...}` series plus `_sum` and
-/// `_count`, matching the standard scrape shape.
+/// `_count`, matching the standard scrape shape, and additionally
+/// summary-style `{quantile="..."}` lines (p50/p90/p99/p999, rank-exact
+/// over the recorded buckets) so tails are scrapeable without PromQL
+/// bucket interpolation. Tail histograms emit the summary shape alone —
+/// their ~7400 sub-buckets would bloat a scrape.
 pub fn metrics_to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for m in &snapshot.metrics {
@@ -104,8 +144,16 @@ pub fn metrics_to_prometheus(snapshot: &Snapshot) -> String {
                     out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
                 }
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                prometheus_quantiles(&mut out, &name, &|q| h.quantile(q));
                 out.push_str(&format!("{name}_sum {}\n", h.sum));
                 out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+            MetricValue::Tail(t) => {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                prometheus_quantiles(&mut out, &name, &|q| t.quantile(q));
+                out.push_str(&format!("{name}_sum {}\n", t.sum));
+                out.push_str(&format!("{name}_count {}\n", t.count));
+                out.push_str(&format!("{name}_max {}\n", t.max));
             }
         }
     }
@@ -145,6 +193,9 @@ mod tests {
         let h = reg.histogram("latency_ns");
         h.observe(0);
         h.observe(5);
+        let t = reg.tail("tail_ns");
+        t.observe(10);
+        t.observe(20);
         reg.snapshot()
     }
 
@@ -155,7 +206,9 @@ mod tests {
             json,
             "{\"counters\":{\"calls_total\":3},\
              \"gauges\":{\"estack/busy\":-1},\
-             \"histograms\":{\"latency_ns\":{\"count\":2,\"sum\":5,\"buckets\":[[0,1],[7,1]]}}}"
+             \"histograms\":{\"latency_ns\":{\"count\":2,\"sum\":5,\"buckets\":[[0,1],[7,1]]}},\
+             \"tails\":{\"tail_ns\":{\"count\":2,\"sum\":30,\"max\":20,\
+             \"p50\":10,\"p90\":20,\"p99\":20,\"p999\":20}}}"
         );
     }
 
@@ -168,6 +221,23 @@ mod tests {
         assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("latency_ns_sum 5\n"));
         assert!(text.contains("latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_quantile_lines_cover_histograms_and_tails() {
+        let text = metrics_to_prometheus(&sample());
+        // Log2 histogram: quantiles land on bucket upper bounds.
+        assert!(text.contains("latency_ns{quantile=\"0.5\"} 0\n"));
+        assert!(text.contains("latency_ns{quantile=\"0.99\"} 7\n"));
+        assert!(text.contains("latency_ns{quantile=\"0.999\"} 7\n"));
+        // Tail histogram: summary shape, exact small values, no buckets.
+        assert!(text.contains("# TYPE tail_ns summary\n"));
+        assert!(text.contains("tail_ns{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("tail_ns{quantile=\"0.999\"} 20\n"));
+        assert!(text.contains("tail_ns_sum 30\n"));
+        assert!(text.contains("tail_ns_count 2\n"));
+        assert!(text.contains("tail_ns_max 20\n"));
+        assert!(!text.contains("tail_ns_bucket"));
     }
 
     #[test]

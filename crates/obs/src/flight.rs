@@ -89,6 +89,11 @@ pub struct FlightRing {
     slots: Box<[Slot]>,
     /// Total pushes ever; `head % capacity` is the next slot to write.
     head: AtomicU64,
+    /// Head value at the start of the most recent [`FlightRing::read_all`]:
+    /// pushes numbered below this were offered to a reader.
+    read_mark: AtomicU64,
+    /// Spans overwritten before any `read_all` offered them to a reader.
+    dropped: AtomicU64,
 }
 
 impl FlightRing {
@@ -98,6 +103,8 @@ impl FlightRing {
         FlightRing {
             slots: (0..capacity).map(|_| Slot::empty()).collect(),
             head: AtomicU64::new(0),
+            read_mark: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -111,11 +118,30 @@ impl FlightRing {
         self.head.load(Ordering::SeqCst)
     }
 
+    /// Spans lost to overwrite before any reader saw them: push `n`
+    /// reuses the slot of push `n - capacity`, and if no [`read_all`]
+    /// had started after that older span was pushed, it was never
+    /// readable — tail attribution uses this to report span *coverage*
+    /// instead of silently sampling.
+    ///
+    /// [`read_all`]: FlightRing::read_all
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
     /// Records one span, overwriting the oldest if the ring is full.
     /// Writer-side of the seqlock; see the module docs for the protocol.
     #[inline]
     pub fn push(&self, span: SpanRecord) {
-        let idx = self.head.fetch_add(1, Ordering::SeqCst) as usize % self.slots.len();
+        let prev = self.head.fetch_add(1, Ordering::SeqCst);
+        let idx = prev as usize % self.slots.len();
+        if let Some(victim) = prev.checked_sub(self.slots.len() as u64) {
+            // Overwriting push number `victim`; it was unread if no
+            // read_all began after it landed.
+            if victim >= self.read_mark.load(Ordering::SeqCst) {
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+        }
         let slot = &self.slots[idx];
         let seq = slot.seq.load(Ordering::SeqCst);
         slot.seq.store(seq + 1, Ordering::SeqCst); // odd: mid-update
@@ -138,7 +164,12 @@ impl FlightRing {
     /// and every slot is still visited exactly once.
     pub fn read_all(&self) -> Vec<SpanRecord> {
         let cap = self.slots.len();
-        let start = self.head.load(Ordering::SeqCst) as usize % cap;
+        let head = self.head.load(Ordering::SeqCst);
+        // Every push numbered below `head` is being offered to this
+        // reader; overwriting them later is not a drop. fetch_max keeps
+        // the mark monotone under concurrent readers.
+        self.read_mark.fetch_max(head, Ordering::SeqCst);
+        let start = head as usize % cap;
         let mut out = Vec::with_capacity(cap);
         for i in 0..cap {
             if let Some(span) = Self::read_slot(&self.slots[(start + i) % cap]) {
@@ -253,6 +284,32 @@ pub fn snapshot() -> Vec<SpanRecord> {
     spans
 }
 
+/// Total spans ever pushed across every registered ring (including ones
+/// since overwritten or read).
+pub fn pushed_total() -> u64 {
+    tally::note_global_lock();
+    REGISTRY
+        .lock()
+        .expect("flight registry poisoned")
+        .iter()
+        .map(|r| r.pushed())
+        .sum()
+}
+
+/// Total spans lost to overwrite before any reader saw them, summed
+/// across every registered ring (see [`FlightRing::dropped`]). Exported
+/// by the runtime as the `obs_flight_dropped_total` counter; monotone,
+/// because rings are registered for the life of the process.
+pub fn dropped_total() -> u64 {
+    tally::note_global_lock();
+    REGISTRY
+        .lock()
+        .expect("flight registry poisoned")
+        .iter()
+        .map(|r| r.dropped())
+        .sum()
+}
+
 /// Snapshot filtered to one call. This is the isolation primitive: trace
 /// ids are process-unique, so concurrent tests and threads cannot pollute
 /// each other's view even though rings are shared process state.
@@ -316,6 +373,35 @@ mod tests {
         });
         let starts: Vec<u64> = ring.read_all().iter().map(|s| s.start_ns).collect();
         assert_eq!(starts, vec![104, 105, 106, 107]);
+    }
+
+    #[test]
+    fn dropped_counts_only_unread_overwrites() {
+        let ring = FlightRing::new(4);
+        let span = |i: u64| SpanRecord {
+            trace: TraceId::from_raw(1),
+            phase: 0,
+            start_ns: i,
+            dur_ns: 1,
+        };
+        for i in 0..4 {
+            ring.push(span(i));
+        }
+        assert_eq!(ring.dropped(), 0, "no overwrite yet");
+        ring.push(span(4));
+        assert_eq!(ring.dropped(), 1, "span 0 overwritten before any read");
+        // A read marks everything pushed so far as offered; overwriting
+        // those is not a drop...
+        ring.read_all();
+        for i in 5..9 {
+            ring.push(span(i));
+        }
+        assert_eq!(ring.dropped(), 1, "spans 1..=4 were read before reuse");
+        // ...but going a full lap past the read mark drops again.
+        for i in 9..13 {
+            ring.push(span(i));
+        }
+        assert_eq!(ring.dropped(), 5, "spans 5..=8 were never offered");
     }
 
     #[test]

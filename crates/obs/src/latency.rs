@@ -1,0 +1,390 @@
+//! High-resolution latency recording: HDR-style multi-resolution
+//! histograms with rank-exact quantiles, plus a windowed time-series.
+//!
+//! The log2 [`Histogram`](crate::Histogram) is fine for order-of-magnitude
+//! distributions but useless for tails: one power-of-two bucket spans the
+//! whole region between p50 and p999 of a 157 µs call. [`TailHistogram`]
+//! keeps 128 sub-buckets per octave instead, bounding value quantization
+//! to `2^-7` (< 0.8 %) relative error at every magnitude while staying a
+//! fixed-size array of relaxed atomics — `observe` is three `fetch_add`s
+//! and a leading-zeros count, no locks, no allocation, safe to share
+//! across worker threads via its internal `Arc`.
+//!
+//! Quantiles are computed on a frozen [`TailSnapshot`] by exact rank
+//! selection: `quantile(q)` walks the cumulative counts to the smallest
+//! bucket whose running total reaches `ceil(q·count)` and reports that
+//! bucket's inclusive upper bound. The rank is exact; only the reported
+//! value is quantized (values below 128 are exact, larger ones to
+//! `2^-7`). Snapshots merge losslessly (bucket-wise addition), so
+//! per-thread recorders can be combined before quantile extraction.
+//!
+//! [`WindowedSeries`] buckets observations into fixed-width windows of
+//! (virtual) time, one `TailHistogram` per non-empty window, so a tail
+//! spike shows up in *its* window's p99 instead of being averaged away
+//! over the whole run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket precision: each octave `[2^b, 2^(b+1))` for `b >= SUB_BITS`
+/// is split into `2^SUB_BITS` equal sub-buckets.
+pub const TAIL_SUB_BITS: u32 = 7;
+
+const SB: u64 = 1 << TAIL_SUB_BITS;
+
+/// Total bucket count: values `0..SB` exactly, then one `SB`-wide group
+/// per octave `SUB_BITS..=63`.
+pub const TAIL_BUCKETS: usize = (SB as usize) * (64 - TAIL_SUB_BITS as usize + 1);
+
+/// Index of the tail bucket holding `value`.
+#[inline]
+pub fn tail_bucket_index(value: u64) -> usize {
+    if value < SB {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros() as u64;
+        let shift = msb - TAIL_SUB_BITS as u64;
+        // Octave group `msb` starts at SB + (msb - SUB_BITS) * SB; the
+        // sub-bucket within it is the top SUB_BITS+1 bits minus SB.
+        (SB + (msb - TAIL_SUB_BITS as u64) * SB + ((value >> shift) - SB)) as usize
+    }
+}
+
+/// Inclusive `(lowest, highest)` value held by tail bucket `index`.
+pub fn tail_bucket_bounds(index: usize) -> (u64, u64) {
+    let i = index as u64;
+    if i < SB {
+        (i, i)
+    } else {
+        let octave = (i - SB) / SB;
+        let pos = (i - SB) % SB;
+        let lo = (SB + pos) << octave;
+        // Exclusive upper bound in u128 so the top octave (values near
+        // u64::MAX) cannot overflow.
+        let hi_excl = u128::from(SB + pos + 1) << octave;
+        let hi = (hi_excl - 1).min(u128::from(u64::MAX)) as u64;
+        (lo, hi)
+    }
+}
+
+/// Atomic HDR-style histogram of `u64` observations (latencies in ns).
+pub struct TailHistogram(Arc<TailInner>);
+
+struct TailInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Clone for TailHistogram {
+    fn clone(&self) -> TailHistogram {
+        TailHistogram(Arc::clone(&self.0))
+    }
+}
+
+impl Default for TailHistogram {
+    fn default() -> TailHistogram {
+        TailHistogram(Arc::new(TailInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..TAIL_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }))
+    }
+}
+
+impl std::fmt::Debug for TailHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TailHistogram")
+            .field("count", &self.0.count.load(Ordering::Relaxed))
+            .field("sum", &self.0.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TailHistogram {
+    pub fn new() -> TailHistogram {
+        TailHistogram::default()
+    }
+
+    /// Records one observation: three relaxed `fetch_add`s plus a relaxed
+    /// `fetch_max`, no locks, no allocation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+        inner.buckets[tail_bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current state. Under concurrent `observe` the fields
+    /// are read independently (same caveat as the log2 histogram); once
+    /// writers quiesce they agree exactly.
+    pub fn snapshot(&self) -> TailSnapshot {
+        let inner = &self.0;
+        let buckets = (0..TAIL_BUCKETS)
+            .filter_map(|i| {
+                let n = inner.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        TailSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen tail-histogram state: sparse `(bucket index, count)` pairs in
+/// ascending index order, plus exact count/sum/max.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TailSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl TailSnapshot {
+    /// The rank-exact quantile `q` in `[0, 1]`: the inclusive upper bound
+    /// of the smallest bucket whose cumulative count reaches
+    /// `ceil(q·count)` (at least 1). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = tail_bucket_bounds(idx as usize);
+                // Never report past the true maximum: the top bucket's
+                // upper bound quantizes up, but `max` is exact.
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lossless merge: bucket-wise addition. Associative and commutative;
+    /// `merge(a, b).count == a.count + b.count` and no bucket count is
+    /// lost (the proptests in `tests/obs_props.rs` pin this).
+    pub fn merge(&self, other: &TailSnapshot) -> TailSnapshot {
+        let mut buckets: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *buckets.entry(idx).or_insert(0) += n;
+        }
+        TailSnapshot {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+            buckets: buckets.into_iter().collect(),
+        }
+    }
+}
+
+/// Fixed-width windowed time-series of tail histograms.
+///
+/// `observe(at, value)` files the observation under window
+/// `at / width`; only non-empty windows are materialized. Windows merge
+/// position-wise across series of the same width, so per-thread series
+/// combine before reporting. Not thread-shared itself (each worker owns
+/// one and the results are merged) — the per-window histograms are the
+/// atomic [`TailHistogram`].
+#[derive(Debug)]
+pub struct WindowedSeries {
+    width: u64,
+    windows: BTreeMap<u64, TailHistogram>,
+}
+
+impl WindowedSeries {
+    /// A series with the given window width (same unit as `observe`'s
+    /// `at`; typically virtual nanoseconds). Width 0 is clamped to 1.
+    pub fn new(width: u64) -> WindowedSeries {
+        WindowedSeries {
+            width: width.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Records `value` at time `at`.
+    pub fn observe(&mut self, at: u64, value: u64) {
+        self.windows
+            .entry(at / self.width)
+            .or_default()
+            .observe(value);
+    }
+
+    /// Merges another series of the same width into this one.
+    ///
+    /// # Panics
+    /// If the widths differ — merging misaligned windows would smear
+    /// exactly the spikes the series exists to localize.
+    pub fn merge_from(&mut self, other: &WindowedSeries) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge windowed series of different widths"
+        );
+        for (&w, hist) in &other.windows {
+            let snap = hist.snapshot();
+            let dst = self.windows.entry(w).or_default();
+            // Replay the sparse buckets; counts are what matters, and the
+            // bucket midpoint keeps sum within quantization error.
+            let dst_inner = &dst.0;
+            dst_inner.count.fetch_add(snap.count, Ordering::Relaxed);
+            dst_inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+            dst_inner.max.fetch_max(snap.max, Ordering::Relaxed);
+            for (idx, n) in snap.buckets {
+                dst_inner.buckets[idx as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `(window start time, snapshot)` for every non-empty window, in
+    /// time order.
+    pub fn snapshot(&self) -> Vec<(u64, TailSnapshot)> {
+        self.windows
+            .iter()
+            .map(|(&w, h)| (w * self.width, h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_brackets_every_magnitude() {
+        for &v in &[
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1000,
+            157_000,
+            1 << 33,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = tail_bucket_index(v);
+            let (lo, hi) = tail_bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        assert_eq!(tail_bucket_index(u64::MAX), TAIL_BUCKETS - 1);
+    }
+
+    #[test]
+    fn buckets_partition_the_line() {
+        // Consecutive buckets tile u64 with no gaps or overlaps.
+        let mut expect_lo = 0u64;
+        for i in 0..TAIL_BUCKETS {
+            let (lo, hi) = tail_bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} does not start where {} ended", i);
+            assert!(hi >= lo);
+            if i + 1 < TAIL_BUCKETS {
+                expect_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Above the exact range, bucket width / lower bound <= 2^-7.
+        for &v in &[129u64, 1000, 157_000, 1_000_000, 1 << 40] {
+            let (lo, hi) = tail_bucket_bounds(tail_bucket_index(v));
+            assert!(((hi - lo) as f64) / (lo as f64) <= 1.0 / 128.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_rank_exact() {
+        let h = TailHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        // Values <= 127 are exact; above that quantization is <= 0.8%.
+        let p50 = s.quantile(0.50).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        let p999 = s.quantile(0.999).unwrap();
+        assert!((499..=504).contains(&p50), "p50={p50}");
+        assert!((989..=998).contains(&p99), "p99={p99}");
+        assert!((999..=1000).contains(&p999), "p999={p999}");
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(s.quantile(1.0), Some(1000));
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_quantiles() {
+        let a = TailHistogram::new();
+        let b = TailHistogram::new();
+        for v in 0..500u64 {
+            a.observe(v);
+        }
+        for v in 500..1000u64 {
+            b.observe(v * 1000);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 1000);
+        assert_eq!(m.max, 999_000);
+        let total: u64 = m.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 1000);
+        assert!(m.quantile(0.25).unwrap() < 500);
+        assert!(m.quantile(0.75).unwrap() >= 500_000);
+    }
+
+    #[test]
+    fn windowed_series_localizes_spikes() {
+        let mut w = WindowedSeries::new(100);
+        for t in 0..300u64 {
+            // One slow window in the middle.
+            let v = if (100..200).contains(&t) { 10_000 } else { 10 };
+            w.observe(t, v);
+        }
+        let snaps = w.snapshot();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].0, 0);
+        assert_eq!(snaps[1].0, 100);
+        assert!(snaps[0].1.quantile(0.99).unwrap() <= 10);
+        assert!(snaps[1].1.quantile(0.99).unwrap() >= 9_000);
+        assert!(snaps[2].1.quantile(0.99).unwrap() <= 10);
+
+        let mut other = WindowedSeries::new(100);
+        other.observe(150, 20_000);
+        w.merge_from(&other);
+        let merged = w.snapshot();
+        assert_eq!(merged[1].1.count, 101);
+        assert_eq!(merged[1].1.max, 20_000);
+    }
+}

@@ -13,6 +13,9 @@
 //!   overwrite-oldest, from which the paper's tables can be regenerated
 //!   after the fact;
 //! * [`metrics`] — an atomic counter/gauge/log2-histogram registry;
+//! * [`latency`] — HDR-style tail histograms (128 sub-buckets per octave,
+//!   rank-exact p50/p99/p999, lossless merge) and a windowed time-series
+//!   for localizing tail spikes;
 //! * [`export`] — JSON and Prometheus-style text encoders for snapshots.
 //!
 //! The crate sits *below* the simulator (`firefly` depends on `obs`, not
@@ -29,12 +32,14 @@
 
 pub mod export;
 pub mod flight;
+pub mod latency;
 pub mod metrics;
 pub mod tally;
 pub mod trace;
 
 pub use export::{metrics_to_json, metrics_to_prometheus, spans_to_json};
 pub use flight::{FlightRing, SpanRecord};
+pub use latency::{TailHistogram, TailSnapshot, WindowedSeries};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,
 };

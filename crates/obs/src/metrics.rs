@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::latency::{TailHistogram, TailSnapshot};
 use crate::tally;
 
 /// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` (for
@@ -184,12 +185,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The quantile `q` in `[0, 1]` by exact rank selection over the log2
+    /// buckets: the inclusive upper bound of the smallest bucket whose
+    /// cumulative count reaches `ceil(q·count)` (at least 1). The rank is
+    /// exact; the value is quantized to the bucket bound (up to 2× for a
+    /// log2 histogram — use a tail histogram where that matters).
+    /// `None` when empty. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(le);
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le)
+    }
+}
+
 /// One named metric's frozen value.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MetricValue {
     Counter(u64),
     Gauge(i64),
     Histogram(HistogramSnapshot),
+    /// HDR-style tail histogram ([`crate::latency::TailHistogram`]).
+    Tail(TailSnapshot),
 }
 
 /// A named metric captured by [`Registry::snapshot`].
@@ -200,7 +226,7 @@ pub struct MetricSnapshot {
 }
 
 /// Point-in-time view of a whole registry, name-sorted (counters, then
-/// gauges, then histograms).
+/// gauges, then histograms, then tail histograms).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
     pub metrics: Vec<MetricSnapshot>,
@@ -238,6 +264,14 @@ impl Snapshot {
             _ => None,
         }
     }
+
+    /// Convenience: a tail-histogram metric's snapshot, if present.
+    pub fn tail(&self, name: &str) -> Option<&TailSnapshot> {
+        match self.get(name)? {
+            MetricValue::Tail(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 /// Name → handle table for export. One per runtime (not per process), so
@@ -247,6 +281,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    tails: Mutex<BTreeMap<String, TailHistogram>>,
 }
 
 impl Registry {
@@ -288,6 +323,17 @@ impl Registry {
             .clone()
     }
 
+    /// Gets or creates the tail histogram `name`.
+    pub fn tail(&self, name: &str) -> TailHistogram {
+        tally::note_global_lock();
+        self.tails
+            .lock()
+            .expect("metrics registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
     /// Adopts an externally-owned counter under `name` (last writer wins).
     pub fn register_counter(&self, name: &str, counter: Counter) {
         tally::note_global_lock();
@@ -313,6 +359,15 @@ impl Registry {
             .lock()
             .expect("metrics registry poisoned")
             .insert(name.to_string(), histogram);
+    }
+
+    /// Adopts an externally-owned tail histogram under `name`.
+    pub fn register_tail(&self, name: &str, tail: TailHistogram) {
+        tally::note_global_lock();
+        self.tails
+            .lock()
+            .expect("metrics registry poisoned")
+            .insert(name.to_string(), tail);
     }
 
     /// Freezes every registered metric.
@@ -341,6 +396,14 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
+        tally::note_global_lock();
+        let tails: Vec<(String, TailHistogram)> = self
+            .tails
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
 
         let mut metrics = Vec::new();
         for (name, c) in counters {
@@ -359,6 +422,12 @@ impl Registry {
             metrics.push(MetricSnapshot {
                 name,
                 value: MetricValue::Histogram(h.snapshot()),
+            });
+        }
+        for (name, t) in tails {
+            metrics.push(MetricSnapshot {
+                name,
+                value: MetricValue::Tail(t.snapshot()),
             });
         }
         Snapshot { metrics }

@@ -13,14 +13,19 @@
 //!   (Figure 1);
 //! * [`corpus`] — a synthetic 28-service / 366-procedure interface corpus
 //!   with the Section 2.2 static properties, plus the call-popularity
-//!   model (75 % of calls to three procedures).
+//!   model (75 % of calls to three procedures);
+//! * [`site`] — site-scale open-loop traffic plans (hundreds of
+//!   interfaces, tens of thousands of bindings, seeded exponential
+//!   arrivals mixing serial/batch/bulk calls) for the tail benchmark.
 
 pub mod activity;
 pub mod corpus;
+pub mod site;
 pub mod sizes;
 pub mod trace;
 
 pub use activity::{count_ops, ActivityModel, Op, PercentBasis};
 pub use corpus::{generate_corpus, measure, CorpusStats, PopularityModel};
+pub use site::{generate_site, Arrival, CallKind, SitePlan, SiteSpec};
 pub use sizes::{Histogram, SizeBin, SizeDistribution, FIGURE_1_MAX_BYTES, FIGURE_1_TOTAL_CALLS};
 pub use trace::{CallEvent, CallTrace, TraceModel};

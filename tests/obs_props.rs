@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use obs::flight::{FlightRing, SpanRecord};
+use obs::latency::{tail_bucket_bounds, tail_bucket_index, TailHistogram};
 use obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
 use obs::TraceId;
 use proptest::prelude::*;
@@ -128,5 +129,87 @@ proptest! {
         if i > 0 {
             prop_assert!(v > bucket_upper_bound(i - 1));
         }
+    }
+
+    /// Merging tail snapshots is associative (and, with the commutativity
+    /// the bucket-wise sum gives for free, order-independent): the
+    /// per-thread recorders of the tail benchmark can be combined in any
+    /// grouping and report the same quantiles.
+    #[test]
+    fn tail_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..120),
+        b in proptest::collection::vec(any::<u64>(), 0..120),
+        c in proptest::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let snap = |values: &[u64]| {
+            let h = TailHistogram::new();
+            for &v in values {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left, sc.merge(&sb).merge(&sa), "order-independent");
+    }
+
+    /// Quantiles are monotone in the query: q1 ≤ q2 implies
+    /// quantile(q1) ≤ quantile(q2), with the extremes pinned — the top
+    /// quantile is the exact maximum, and every quantile brackets at
+    /// least one observed value from below (≤ 1/128 relative error).
+    #[test]
+    fn tail_quantiles_are_monotone(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        q1_millis in 0u32..=1000,
+        q2_millis in 0u32..=1000,
+    ) {
+        let h = TailHistogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let (q1, q2) = (f64::from(q1_millis) / 1e3, f64::from(q2_millis) / 1e3);
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = snap.quantile(lo_q).expect("non-empty");
+        let hi = snap.quantile(hi_q).expect("non-empty");
+        prop_assert!(lo <= hi, "quantile({lo_q})={lo} > quantile({hi_q})={hi}");
+        prop_assert_eq!(snap.quantile(1.0), Some(*values.iter().max().unwrap()),
+            "the top quantile is the exact max");
+        // Every reported quantile is a reachable bucket bound: some
+        // observed value lands in its bucket.
+        let idx = tail_bucket_index(lo);
+        prop_assert!(values.iter().any(|&v| tail_bucket_index(v.min(snap.max)) == idx),
+            "quantile names an occupied bucket");
+    }
+
+    /// Merging never loses an observation: count, sum, max, and the
+    /// per-bucket occupancy of a merge all equal what one histogram fed
+    /// the concatenated stream would report — and every value sits in
+    /// the bucket whose bounds bracket it.
+    #[test]
+    fn tail_merge_loses_no_value(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let ha = TailHistogram::new();
+        for &v in &a {
+            ha.observe(v);
+            let (lo, hi) = tail_bucket_bounds(tail_bucket_index(v));
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+        }
+        let hb = TailHistogram::new();
+        for &v in &b {
+            hb.observe(v);
+        }
+        let merged = ha.snapshot().merge(&hb.snapshot());
+
+        let all = TailHistogram::new();
+        for &v in a.iter().chain(b.iter()) {
+            all.observe(v);
+        }
+        prop_assert_eq!(merged, all.snapshot(),
+            "merge == histogram of the concatenated stream");
     }
 }
