@@ -31,13 +31,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use firefly::cost::CostModel;
-use firefly::cpu::Machine;
 use firefly::meter::Phase;
 use firefly::time::Nanos;
 use idl::wire::Value;
-use kernel::kernel::Kernel;
 use kernel::thread::Thread;
-use lrpc::{Binding, CallOutcome, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+use lrpc::{Binding, CallOutcome, Handler, Reply, ServerCtx, TestRuntime};
 
 /// Default timed batch rounds per sweep point.
 pub const DEFAULT_ITERS: usize = 200;
@@ -125,13 +123,7 @@ struct BatchEnv {
 }
 
 fn env() -> BatchEnv {
-    let rt = LrpcRuntime::with_config(
-        Kernel::new(Machine::new(1, CostModel::cvax_firefly())),
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new().domain_caching(false).build();
     let server = rt.kernel().create_domain("batch-server");
     rt.export(
         &server,

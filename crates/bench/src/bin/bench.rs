@@ -46,9 +46,10 @@ fn usage() -> ! {
          bench --stubs [--check]\n       \
          bench --bulk [--check]\n       \
          bench --batch [--check]\n       \
-         bench --tail [--check] [--tail-fault-us N]\n       \
+         bench --tail [--check] [--tail-fault-us N] [--tail-cpus K]\n             \
+         [--tail-site ci|full] [--tail-no-adaptive] [--tail-force-no-cache]\n       \
          bench --all\n       \
-         bench --record FILE [--scenario chaos|fig2|batch] [--seed N] [--rcalls N]\n       \
+         bench --record FILE [--scenario chaos|fig2|batch|site] [--seed N] [--rcalls N]\n       \
          bench --replay FILE [--check]\n       \
          bench --rr-overhead [--rcalls N] [--check]\n       \
          bench --shrink [--seed N] [--rcalls N]\n       \
@@ -333,13 +334,23 @@ fn site_json(site: &workload::site::SiteSpec) -> Json {
 }
 
 /// Whether a persisted entry was produced by the same site parameters
-/// (the regression gate only compares like with like).
-fn site_matches(entry: &Json, site: &workload::site::SiteSpec) -> bool {
+/// and machine shape (the regression gate only compares like with
+/// like). Legacy rows carry no `cpus`/`domain_caching`/`adaptive` keys
+/// and therefore never match a multi-CPU spec — they start a fresh
+/// baseline lineage rather than gating apples against oranges.
+fn site_matches(entry: &Json, spec: &tail::TailSpec) -> bool {
     let Some(s) = entry.get("site") else {
         return false;
     };
+    let site = &spec.site;
     let num = |key: &str| s.get(key).and_then(Json::as_f64);
     let close = |key: &str, want: f64| num(key).is_some_and(|v| (v - want).abs() < 1e-9);
+    let flag = |key: &str, want: bool| {
+        entry
+            .get(key)
+            .and_then(Json::as_bool)
+            .is_some_and(|v| v == want)
+    };
     close("seed", site.seed as f64)
         && close("interfaces", site.interfaces as f64)
         && close("bindings", site.bindings as f64)
@@ -349,21 +360,42 @@ fn site_matches(entry: &Json, site: &workload::site::SiteSpec) -> bool {
         && close("bulk_share", site.bulk_share)
         && close("batch_size", site.batch_size as f64)
         && close("window_ns", site.window_ns as f64)
+        && entry
+            .get("cpus")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v as usize == spec.cpus)
+        && flag("domain_caching", spec.domain_caching)
+        && flag("adaptive", spec.adaptive)
 }
 
-/// The overall virtual p99 of the newest persisted run with the same
-/// site parameters — the baseline the gate compares against.
-fn last_matching_p99(doc: &Json, site: &workload::site::SiteSpec) -> Option<u64> {
-    doc.get("trajectory")?
-        .as_arr()?
-        .iter()
-        .filter(|e| site_matches(e, site))
-        .filter_map(|e| e.get("virtual")?.get("all")?.get("p99")?.as_f64())
-        .next_back()
-        .map(|v| v as u64)
+/// The newest persisted baseline with the same site parameters and
+/// machine shape: the overall virtual p99 and the caching mean delta
+/// the cross-run gates compare against.
+fn last_matching_baseline(doc: &Json, spec: &tail::TailSpec) -> (Option<u64>, Option<i64>) {
+    let Some(entry) = doc
+        .get("trajectory")
+        .and_then(Json::as_arr)
+        .into_iter()
+        .flatten()
+        .rfind(|e| site_matches(e, spec))
+    else {
+        return (None, None);
+    };
+    let p99 = entry
+        .get("virtual")
+        .and_then(|v| v.get("all"))
+        .and_then(|a| a.get("p99"))
+        .and_then(Json::as_f64)
+        .map(|v| v as u64);
+    let delta = entry
+        .get("caching_delta_ns")
+        .and_then(Json::as_f64)
+        .map(|v| v as i64);
+    (p99, delta)
 }
 
-fn tail_entry(r: &tail::TailReport) -> Json {
+fn tail_entry(e: &tail::TailExperiment) -> Json {
+    let r = &e.main;
     let mixes = |stats: &[(&'static str, tail::MixStats)]| {
         Json::Obj(
             stats
@@ -396,12 +428,53 @@ fn tail_entry(r: &tail::TailReport) -> Json {
             ])
         })
         .collect();
+    let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
     Json::Obj(vec![
         ("git_rev".into(), Json::Str(git_rev())),
         ("experiment".into(), Json::Str("site-tail-latency".into())),
         ("site".into(), site_json(&r.spec.site)),
+        ("cpus".into(), Json::Num(r.cpus as f64)),
+        ("domain_caching".into(), Json::Bool(r.domain_caching)),
+        ("adaptive".into(), Json::Bool(r.spec.adaptive)),
         ("calls".into(), Json::Num(r.calls as f64)),
         ("errors".into(), Json::Num(r.errors as f64)),
+        (
+            "domain_cache_hits".into(),
+            Json::Num(r.domain_cache_hits as f64),
+        ),
+        (
+            "domain_cache_misses".into(),
+            Json::Num(r.domain_cache_misses as f64),
+        ),
+        (
+            "astack_wait_events".into(),
+            Json::Num(r.astack_wait_events as f64),
+        ),
+        ("k1_p99".into(), opt_num(e.k1_p99.map(|v| v as f64))),
+        (
+            "caching_off_p99".into(),
+            opt_num(e.caching_off_p99.map(|v| v as f64)),
+        ),
+        (
+            "caching_off_serial_mean".into(),
+            opt_num(e.caching_off_serial_mean),
+        ),
+        (
+            "caching_delta_ns".into(),
+            opt_num(e.caching_delta().map(|v| v as f64)),
+        ),
+        (
+            "caching_p99_delta_ns".into(),
+            opt_num(e.caching_p99_delta().map(|v| v as f64)),
+        ),
+        (
+            "adaptive_p99".into(),
+            opt_num(e.adaptive_p99.map(|v| v as f64)),
+        ),
+        (
+            "adaptive_wait_events".into(),
+            opt_num(e.adaptive_wait_events.map(|v| v as f64)),
+        ),
         (
             "total_virtual_ns".into(),
             Json::Num(r.total_virtual_ns as f64),
@@ -421,35 +494,66 @@ fn tail_entry(r: &tail::TailReport) -> Json {
     ])
 }
 
-/// Runs the site-scale open-loop tail benchmark. Clean runs append to
-/// `BENCH_tail.json`; runs with an injected fault never persist (they
-/// exist to prove the regression gate trips). With `check`, the exit
-/// code reflects the run-local gates plus the cross-run p99 gate
-/// against the newest persisted entry with identical site parameters.
-fn run_tail(check: bool, fault_us: u64) -> bool {
-    let mut spec = tail::TailSpec::full();
-    spec.dispatch_delay_us = fault_us;
-    let report = tail::run(&spec);
-    print!("{}", tail::render(&report));
+/// Knobs of a `--tail` invocation beyond `--check`.
+struct TailOpts {
+    fault_us: u64,
+    cpus: usize,
+    ci_site: bool,
+    adaptive: bool,
+    force_no_cache: bool,
+}
+
+impl Default for TailOpts {
+    fn default() -> TailOpts {
+        TailOpts {
+            fault_us: 0,
+            cpus: 4,
+            ci_site: false,
+            adaptive: true,
+            force_no_cache: false,
+        }
+    }
+}
+
+/// Runs the site-scale open-loop tail experiment. Clean runs append to
+/// `BENCH_tail.json`; runs with an injected fault or with caching
+/// forced off never persist (they exist to prove the gates trip). With
+/// `check`, the exit code reflects the run-local and experiment gates
+/// plus the cross-run p99 and caching-delta gates against the newest
+/// persisted entry with identical site parameters and machine shape.
+fn run_tail(check: bool, opts: &TailOpts) -> bool {
+    let mut spec = if opts.ci_site {
+        tail::TailSpec::ci()
+    } else {
+        tail::TailSpec::full()
+    };
+    spec.dispatch_delay_us = opts.fault_us;
+    spec.cpus = opts.cpus;
+    spec.adaptive = opts.adaptive;
+    if opts.force_no_cache {
+        spec.domain_caching = false;
+    }
+    let experiment = tail::run_experiment(&spec);
+    print!("{}", tail::render_experiment(&experiment));
 
     let path = repo_root().join("BENCH_tail.json");
     let mut doc = load_or_init(&path, TAIL_SCHEMA, "site-tail-latency");
-    let prev_p99 = last_matching_p99(&doc, &spec.site);
+    let (prev_p99, prev_delta) = last_matching_baseline(&doc, &spec);
 
-    if fault_us == 0 {
-        push_entry(&mut doc, tail_entry(&report));
+    if opts.fault_us == 0 && !opts.force_no_cache {
+        push_entry(&mut doc, tail_entry(&experiment));
         if let Err(e) = std::fs::write(&path, doc.pretty()) {
             eprintln!("bench: cannot write {}: {e}", path.display());
             return false;
         }
         println!("wrote {}", path.display());
     } else {
-        println!("fault-injected run: not persisted");
+        println!("fault-injected or forced-off run: not persisted");
     }
 
     if check {
-        let mut failures = report.gate_failures();
-        failures.extend(report.regression_failures(prev_p99));
+        let mut failures = experiment.gate_failures();
+        failures.extend(experiment.regression_failures(prev_p99, prev_delta));
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("bench: tail gate failed: {f}");
@@ -457,7 +561,7 @@ fn run_tail(check: bool, fault_us: u64) -> bool {
             return false;
         }
         if prev_p99.is_none() {
-            println!("note: no previous run with these site parameters; p99 gate vacuous");
+            println!("note: no previous run with these parameters; cross-run gates vacuous");
         }
     }
     true
@@ -475,7 +579,7 @@ fn run_all() -> bool {
     gate("stubs", run_stubs(true));
     gate("bulk", run_bulk(true));
     gate("batch", run_batch(true));
-    gate("tail", run_tail(true, 0));
+    gate("tail", run_tail(true, &TailOpts::default()));
     gate("rr-overhead", run_rr_overhead(5_000, true));
     let bench_files: Vec<String> = [
         "BENCH_throughput.json",
@@ -533,6 +637,7 @@ fn run_record(path: &str, scenario: rr::ScenarioKind, seed: u64, calls: usize) -
         rr::ScenarioKind::Chaos => rr::Scenario::chaos(seed, calls),
         rr::ScenarioKind::Fig2 => rr::Scenario::fig2(calls),
         rr::ScenarioKind::Batch => rr::Scenario::batch(seed, calls),
+        rr::ScenarioKind::Site => rr::Scenario::site(seed, calls),
     };
     let rec = rr::record(sc);
     let bytes = rec.log.encode();
@@ -875,6 +980,54 @@ fn validate_doc(doc: &Json) -> Vec<String> {
             if entry.get("attribution").and_then(Json::as_arr).is_none() {
                 problems.push(format!("entry {i}: missing `attribution` array"));
             }
+            // Multi-CPU experiment keys (absent on legacy rows): when a
+            // row declares a machine shape, its experiment columns must
+            // be coherent.
+            if let Some(cpus) = entry.get("cpus").and_then(Json::as_f64) {
+                if cpus < 1.0 {
+                    problems.push(format!("entry {i}: `cpus` must be >= 1"));
+                }
+                for key in ["domain_caching", "adaptive"] {
+                    if entry.get(key).and_then(Json::as_bool).is_none() {
+                        problems.push(format!("entry {i}: missing boolean `{key}`"));
+                    }
+                }
+                for key in [
+                    "domain_cache_hits",
+                    "domain_cache_misses",
+                    "astack_wait_events",
+                ] {
+                    if entry.get(key).and_then(Json::as_f64).is_none() {
+                        problems.push(format!("entry {i}: missing number `{key}`"));
+                    }
+                }
+                let caching = entry
+                    .get("domain_caching")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                if cpus > 1.0 && caching {
+                    for key in [
+                        "k1_p99",
+                        "caching_off_p99",
+                        "caching_off_serial_mean",
+                        "caching_delta_ns",
+                        "caching_p99_delta_ns",
+                    ] {
+                        if entry.get(key).and_then(Json::as_f64).is_none() {
+                            problems.push(format!("entry {i}: missing number `{key}`"));
+                        }
+                    }
+                    if entry
+                        .get("caching_delta_ns")
+                        .and_then(Json::as_f64)
+                        .is_some_and(|d| d <= 0.0)
+                    {
+                        problems.push(format!(
+                            "entry {i}: persisted `caching_delta_ns` must be positive"
+                        ));
+                    }
+                }
+            }
             continue;
         }
         if entry.get("speedup_at_max").and_then(Json::as_f64).is_none() {
@@ -989,23 +1142,41 @@ fn main() -> ExitCode {
             }
             "--tail" => {
                 let mut check = false;
-                let mut fault_us = 0u64;
+                let mut opts = TailOpts::default();
                 let mut j = i + 1;
                 while j < args.len() {
                     match args[j].as_str() {
                         "--check" => check = true,
                         "--tail-fault-us" => {
                             j += 1;
-                            fault_us = args
+                            opts.fault_us = args
                                 .get(j)
                                 .and_then(|v| v.parse().ok())
                                 .unwrap_or_else(|| usage());
                         }
+                        "--tail-cpus" => {
+                            j += 1;
+                            opts.cpus = args
+                                .get(j)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&k: &usize| k >= 1)
+                                .unwrap_or_else(|| usage());
+                        }
+                        "--tail-site" => {
+                            j += 1;
+                            opts.ci_site = match args.get(j).map(String::as_str) {
+                                Some("ci") => true,
+                                Some("full") => false,
+                                _ => usage(),
+                            };
+                        }
+                        "--tail-no-adaptive" => opts.adaptive = false,
+                        "--tail-force-no-cache" => opts.force_no_cache = true,
                         _ => usage(),
                     }
                     j += 1;
                 }
-                return exit(run_tail(check, fault_us));
+                return exit(run_tail(check, &opts));
             }
             "--all" => {
                 if args.len() != 1 {

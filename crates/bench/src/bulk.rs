@@ -28,17 +28,14 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use firefly::cost::CostModel;
-use firefly::cpu::{Cpu, Machine};
+use firefly::cpu::Cpu;
 use firefly::fault::{FaultConfig, FaultPlan};
 use firefly::meter::Meter;
 use idl::wire::Value;
 use kernel::kernel::Kernel;
 use kernel::thread::Thread;
 use kernel::Domain;
-use lrpc::{
-    Binding, BulkArena, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx, OOB_SEGMENT_COST,
-};
+use lrpc::{Binding, BulkArena, Handler, Reply, ServerCtx, TestRuntime, OOB_SEGMENT_COST};
 
 /// Default transport cycles per measurement leg.
 pub const DEFAULT_ITERS: usize = 5_000;
@@ -133,13 +130,7 @@ fn handlers() -> Vec<Handler> {
 /// `bulk_exhaust` fault site presents the arena as empty on every call,
 /// which is exactly the pre-arena per-call segment path.
 fn env(forced_fallback: bool) -> BulkEnv {
-    let rt = LrpcRuntime::with_config(
-        Kernel::new(Machine::new(1, CostModel::cvax_firefly())),
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new().domain_caching(false).build();
     let server = rt.kernel().create_domain("bulk-server");
     rt.export(&server, BULK_IDL, handlers()).expect("export");
     let client = rt.kernel().create_domain("bulk-client");

@@ -10,9 +10,7 @@ use idl::wire::Value;
 use kernel::kernel::Kernel;
 use kernel::thread::Thread;
 use kernel::Domain;
-use lrpc::{
-    Binding, CallError, CallOutcome, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx,
-};
+use lrpc::{Binding, CallError, CallOutcome, Handler, LrpcRuntime, Reply, ServerCtx, TestRuntime};
 use msgrpc::{MsgHandler, MsgRpcCost, MsgRpcSystem, MsgServer};
 
 /// The four Table 4 test procedures.
@@ -90,14 +88,10 @@ impl LrpcEnv {
 
     /// Builds an environment on an explicit machine.
     pub fn with_machine(machine: Arc<Machine>, domain_caching: bool) -> LrpcEnv {
-        let kernel = Kernel::new(machine);
-        let rt = LrpcRuntime::with_config(
-            kernel,
-            RuntimeConfig {
-                domain_caching,
-                ..RuntimeConfig::default()
-            },
-        );
+        let rt = TestRuntime::new()
+            .machine(machine)
+            .domain_caching(domain_caching)
+            .build();
         let server = rt.kernel().create_domain("bench-server");
         rt.export(&server, BENCH_IDL, lrpc_bench_handlers())
             .expect("export");

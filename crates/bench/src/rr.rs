@@ -18,16 +18,14 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use firefly::cost::CostModel;
-use firefly::cpu::Machine;
 use firefly::fault::{FaultConfig, FaultPlan};
 use firefly::meter::Phase;
+use firefly::vm::ContextId;
 use idl::wire::Value;
-use kernel::kernel::Kernel;
 use kernel::thread::Thread;
 use lrpc::{
-    AStackPolicy, Binding, BreakerConfig, Handler, LrpcRuntime, RecoveryConfig, Reply,
-    ResilientClient, RetryPolicy, RuntimeConfig, ServerCtx,
+    AStackPolicy, AdaptPlan, Binding, BreakerConfig, Handler, LrpcRuntime, Recommendation,
+    RecoveryConfig, Reply, ResilientClient, RetryPolicy, ServerCtx, TestRuntime,
 };
 use obs::{SpanRecord, TraceId};
 use replay::{RecordLog, ReplayDivergence, Session};
@@ -79,6 +77,11 @@ pub enum ScenarioKind {
     /// procedures under injected server panics, full submission rings
     /// and lost doorbells.
     Batch,
+    /// A multi-CPU site run: calls dispatched across a 4-CPU Firefly
+    /// with domain caching on and a fixed adaptive sizing plan applied
+    /// at import, so idle-processor claims (`sched:idle-claim`) and
+    /// sizing decisions (`adapt`) both land in the decision streams.
+    Site,
 }
 
 impl ScenarioKind {
@@ -88,6 +91,7 @@ impl ScenarioKind {
             ScenarioKind::Chaos => "chaos",
             ScenarioKind::Fig2 => "fig2",
             ScenarioKind::Batch => "batch",
+            ScenarioKind::Site => "site",
         }
     }
 
@@ -97,6 +101,7 @@ impl ScenarioKind {
             "chaos" => Some(ScenarioKind::Chaos),
             "fig2" => Some(ScenarioKind::Fig2),
             "batch" => Some(ScenarioKind::Batch),
+            "site" => Some(ScenarioKind::Site),
             _ => None,
         }
     }
@@ -136,6 +141,15 @@ impl Scenario {
     pub fn batch(seed: u64, calls: usize) -> Scenario {
         Scenario {
             kind: ScenarioKind::Batch,
+            seed,
+            calls,
+        }
+    }
+
+    /// A multi-CPU site scenario.
+    pub fn site(seed: u64, calls: usize) -> Scenario {
+        Scenario {
+            kind: ScenarioKind::Site,
             seed,
             calls,
         }
@@ -239,6 +253,33 @@ enum Driver {
         thread: Arc<Thread>,
         binding: Binding,
     },
+    Site {
+        threads: Vec<Arc<Thread>>,
+        bindings: Vec<Binding>,
+        server_ctx: ContextId,
+    },
+}
+
+/// Client domains in the site scenario.
+const SITE_CLIENTS: usize = 2;
+
+/// CPUs in the site scenario's simulated Firefly.
+const SITE_CPUS: usize = 4;
+
+/// The site scenario's fixed sizing plan. A real adaptive run harvests
+/// this from a prior leg's histograms; the recorded fixture pins the
+/// import-time application path (and its `adapt` decision stream)
+/// without depending on the controller's tuning.
+fn site_adapt_plan() -> Arc<AdaptPlan> {
+    let mut plan = AdaptPlan::default();
+    plan.per_interface.insert(
+        "RrChaos".to_string(),
+        Recommendation {
+            astacks: 4,
+            ring_slots: 32,
+        },
+    );
+    Arc::new(plan)
 }
 
 /// Calls per submitted batch in the batched-chaos scenario.
@@ -255,13 +296,17 @@ fn event_call_indexed(rank: usize, bytes: u32) -> (usize, Vec<Value>) {
 }
 
 fn build(sc: Scenario, fault: &FaultConfig, session: &Arc<Session>) -> ScenarioRun {
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let config = RuntimeConfig {
-        domain_caching: false,
-        astack_policy: AStackPolicy::Fail,
-        ..RuntimeConfig::default()
-    };
-    let rt = LrpcRuntime::with_session(kernel, config, Arc::clone(session));
+    let mut builder = TestRuntime::new()
+        .domain_caching(false)
+        .astack_policy(AStackPolicy::Fail)
+        .session(Arc::clone(session));
+    if sc.kind == ScenarioKind::Site {
+        builder = builder
+            .cpus(SITE_CPUS)
+            .domain_caching(true)
+            .adapt(site_adapt_plan());
+    }
+    let rt = builder.build();
     match sc.kind {
         ScenarioKind::Chaos => {
             let server = rt.kernel().create_domain("rr-chaos-server");
@@ -326,6 +371,31 @@ fn build(sc: Scenario, fault: &FaultConfig, session: &Arc<Session>) -> ScenarioR
                 driver: Driver::Batch { thread, binding },
             }
         }
+        ScenarioKind::Site => {
+            // No fault plan: the fixture pins the clean multi-CPU path —
+            // idle-processor claims, per-interface cache counters and
+            // import-time adaptive sizing, not fault handling.
+            let server = rt.kernel().create_domain("rr-site-server");
+            let server_ctx = server.ctx().id();
+            rt.export(&server, RR_CHAOS_IDL, rr_chaos_handlers())
+                .expect("export");
+            let mut threads = Vec::with_capacity(SITE_CLIENTS);
+            let mut bindings = Vec::with_capacity(SITE_CLIENTS);
+            for i in 0..SITE_CLIENTS {
+                let client = rt.kernel().create_domain(format!("rr-site-client-{i}"));
+                threads.push(rt.kernel().spawn_thread(&client));
+                bindings.push(rt.import(&client, "RrChaos").expect("import"));
+            }
+            ScenarioRun {
+                rt,
+                plan: None,
+                driver: Driver::Site {
+                    threads,
+                    bindings,
+                    server_ctx,
+                },
+            }
+        }
     }
 }
 
@@ -350,6 +420,38 @@ fn drive(run: &ScenarioRun, sc: Scenario) -> (u32, u32) {
                     .expect("fig2 Null call");
             }
             (sc.calls as u32, 0)
+        }
+        Driver::Site {
+            threads,
+            bindings,
+            server_ctx,
+        } => {
+            // A compact version of the tail benchmark's multiprocessor
+            // driver: each call dispatches on the earliest-clock CPU and
+            // the finishing CPU parks idling in the server's context, so
+            // the next call's transfer claims it with a processor
+            // exchange (Section 3.4) — every claim is a recorded
+            // `sched:idle-claim` decision.
+            let machine = run.rt.kernel().machine();
+            let n = machine.num_cpus();
+            let trace = TraceModel::taos().generate(sc.seed, sc.calls);
+            let (mut ok, mut err) = (0, 0);
+            for (rank, ev) in trace.events.iter().enumerate() {
+                let (proc_index, args) = event_call_indexed(ev.proc_rank, ev.bytes);
+                let cpu_id = (0..n)
+                    .min_by_key(|&i| (machine.cpu(i).now(), i))
+                    .expect("the machine has CPUs");
+                machine.cpu(cpu_id).set_idle_in(None);
+                let slot = rank % SITE_CLIENTS;
+                match bindings[slot].call_unmetered(cpu_id, &threads[slot], proc_index, &args) {
+                    Ok(out) => {
+                        ok += 1;
+                        machine.cpu(out.end_cpu).set_idle_in(Some(*server_ctx));
+                    }
+                    Err(_) => err += 1,
+                }
+            }
+            (ok, err)
         }
         Driver::Batch { thread, binding } => {
             let trace = TraceModel::taos().generate(sc.seed, sc.calls);
@@ -422,7 +524,7 @@ pub struct Recording {
 pub fn record(sc: Scenario) -> Recording {
     let fault = match sc.kind {
         ScenarioKind::Chaos => chaos_fault_config(sc.seed),
-        ScenarioKind::Fig2 => FaultConfig::default(),
+        ScenarioKind::Fig2 | ScenarioKind::Site => FaultConfig::default(),
         ScenarioKind::Batch => batch_fault_config(sc.seed),
     };
     record_with(sc, &fault)
@@ -800,7 +902,12 @@ mod tests {
 
     #[test]
     fn scenario_names_round_trip() {
-        for kind in [ScenarioKind::Chaos, ScenarioKind::Fig2, ScenarioKind::Batch] {
+        for kind in [
+            ScenarioKind::Chaos,
+            ScenarioKind::Fig2,
+            ScenarioKind::Batch,
+            ScenarioKind::Site,
+        ] {
             assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(ScenarioKind::parse("nope"), None);
@@ -867,6 +974,35 @@ mod tests {
         let rec = record(Scenario::batch(5, 48));
         assert!(rec.artifacts.err > 0, "the schedule injected failures");
         assert!(rec.artifacts.fault_events > 0);
+        let report = replay(&rec.log).expect("well-formed log");
+        assert!(
+            report.is_identical(),
+            "divergence {:?}, unconsumed {}, mismatches {:?}",
+            report.divergence,
+            report.unconsumed,
+            report.mismatches
+        );
+        assert_eq!(report.artifacts, rec.artifacts);
+    }
+
+    #[test]
+    fn site_record_replays_byte_identically_and_claims_processors() {
+        let rec = record(Scenario::site(3, 48));
+        assert_eq!(rec.artifacts.err, 0, "the clean site run has no faults");
+        assert_eq!(rec.artifacts.ok, 48);
+        let claims = rec
+            .log
+            .streams
+            .get("sched:idle-claim")
+            .expect("multi-CPU dispatch probes the idle set");
+        assert!(
+            claims.iter().any(|e| e.payload != 0),
+            "at least one probe claimed a parked processor"
+        );
+        assert!(
+            rec.log.streams.contains_key("adapt"),
+            "import applied the sizing plan as a recorded decision"
+        );
         let report = replay(&rec.log).expect("well-formed log");
         assert!(
             report.is_identical(),

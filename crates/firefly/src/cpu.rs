@@ -363,12 +363,33 @@ impl Machine {
 
     /// Finds and claims a CPU idling in `ctx`, if any (the idle-processor
     /// optimization's probe). Returns the claimed CPU's index.
+    ///
+    /// Candidates are tried most-recently-idled first (a LIFO idle queue):
+    /// the processor that went idle last has the warmest cache/TLB in
+    /// `ctx`, and claiming it forfeits the least idle headroom — the
+    /// longer-idle processors stay available for fresh dispatches.
     pub fn claim_idle_cpu_in(&self, ctx: ContextId) -> Option<usize> {
-        let claimed = self
-            .cpus
-            .iter()
-            .find(|c| c.try_claim_idle(ctx))
-            .map(|c| c.id());
+        // The probe sits on the steady-state call path, which promises
+        // zero heap allocations — so no candidate Vec. Scan for the
+        // warmest still-idle candidate (ties toward the lowest CPU id,
+        // matching the stable sort this replaces) and retry on a lost
+        // race; the loop is bounded because every lost claim means some
+        // other caller consumed that processor.
+        let mut claimed = None;
+        for _ in 0..self.cpus.len() {
+            let Some(best) = self
+                .cpus
+                .iter()
+                .filter(|c| c.idle_in() == Some(ctx))
+                .max_by_key(|c| (c.now(), std::cmp::Reverse(c.id())))
+            else {
+                break;
+            };
+            if best.try_claim_idle(ctx) {
+                claimed = Some(best.id());
+                break;
+            }
+        }
         if let Some(h) = self.rr_claim.get() {
             h.emit(
                 replay::kind::IDLE_CLAIM,
@@ -376,6 +397,16 @@ impl Machine {
             );
         }
         claimed
+    }
+
+    /// The latest virtual time across all CPUs — the wall-clock span of a
+    /// multiprocessor run (each CPU's clock only ever moves forward).
+    pub fn max_now(&self) -> Nanos {
+        self.cpus
+            .iter()
+            .map(Cpu::now)
+            .max()
+            .unwrap_or(Nanos::from_nanos(0))
     }
 
     /// Resets all CPU clocks and TLB statistics (between experiments).

@@ -81,10 +81,14 @@ impl Kernel {
         self.domains.lock().get(&id).cloned()
     }
 
-    /// All live domains.
+    /// All live domains, in creation (id) order. The order is part of
+    /// the determinism contract: `sched::prod_idle_processors` breaks
+    /// miss-count ties by position in this list.
     pub fn domains(&self) -> Vec<Arc<Domain>> {
         firefly::meter::note_global_lock();
-        self.domains.lock().values().cloned().collect()
+        let mut domains: Vec<Arc<Domain>> = self.domains.lock().values().cloned().collect();
+        domains.sort_by_key(|d| d.id());
+        domains
     }
 
     /// Spawns a thread homed in `home`.
@@ -102,10 +106,12 @@ impl Kernel {
         self.threads.lock().get(&id).cloned()
     }
 
-    /// All live threads.
+    /// All live threads, in spawn (id) order.
     pub fn threads(&self) -> Vec<Arc<Thread>> {
         firefly::meter::note_global_lock();
-        self.threads.lock().values().cloned().collect()
+        let mut threads: Vec<Arc<Thread>> = self.threads.lock().values().cloned().collect();
+        threads.sort_by_key(|t| t.id());
+        threads
     }
 
     /// Allocates a region and maps it into `domain` with the given

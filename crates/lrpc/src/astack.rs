@@ -252,6 +252,14 @@ struct ClassQueue {
     overflow_free: Mutex<Vec<usize>>,
     has_overflow: AtomicBool,
     waiters: WaitQueue,
+    /// A-stacks of this class currently held by in-flight calls.
+    in_use: AtomicU64,
+    /// High-water mark of `in_use` — the adaptive sizing controller's
+    /// occupancy signal.
+    peak_in_use: AtomicU64,
+    /// Times an acquire found the class exhausted: a Fail-policy error, a
+    /// blocked Wait entry, or a Grow overflow allocation all count one.
+    stall_events: AtomicU64,
 }
 
 impl ClassQueue {
@@ -265,6 +273,9 @@ impl ClassQueue {
                 available: Condvar::new(),
                 waiting: AtomicUsize::new(0),
             },
+            in_use: AtomicU64::new(0),
+            peak_in_use: AtomicU64::new(0),
+            stall_events: AtomicU64::new(0),
         }
     }
 }
@@ -437,6 +448,22 @@ impl AStackSet {
         self.primary_total + self.overflow.lock().len()
     }
 
+    /// A-stacks of one class (primary + overflow).
+    pub fn class_count(&self, class: usize) -> usize {
+        let primary = self.classes[class].primary_count;
+        if !self.queues[class].has_overflow.load(Ordering::SeqCst) {
+            return primary;
+        }
+        firefly::meter::note_sharded_lock();
+        primary
+            + self
+                .overflow
+                .lock()
+                .iter()
+                .filter(|e| e.class == class)
+                .count()
+    }
+
     /// Number of currently free A-stacks in a class.
     pub fn free_count(&self, class: usize) -> usize {
         let q = &self.queues[class];
@@ -452,6 +479,25 @@ impl AStackSet {
     /// `class` (diagnostic; the FIFO-fairness tests observe it).
     pub fn waiters(&self, class: usize) -> usize {
         self.queues[class].waiters.waiting.load(Ordering::SeqCst)
+    }
+
+    /// Times an acquire of `class` found it exhausted (Fail errors, Wait
+    /// entries and Grow allocations all count).
+    pub fn stall_events(&self, class: usize) -> u64 {
+        self.queues[class].stall_events.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously held A-stacks of `class`.
+    pub fn peak_in_use(&self, class: usize) -> u64 {
+        self.queues[class].peak_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Total stall events across every class of the set.
+    pub fn total_stall_events(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.stall_events.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Pops a free A-stack of `class` if one is available: the lock-free
@@ -503,14 +549,21 @@ impl AStackSet {
         client: &Domain,
         server: &Domain,
     ) -> Result<usize, CallError> {
-        if let Some(idx) = self.try_pop(class) {
-            return Ok(idx);
-        }
-        match policy {
-            AStackPolicy::Fail => Err(CallError::NoAStacks),
-            AStackPolicy::Wait(timeout) => self.wait_for_free(class, timeout),
-            AStackPolicy::Grow => Ok(self.grow(class, kernel, client, server)),
-        }
+        let q = &self.queues[class];
+        let idx = match self.try_pop(class) {
+            Some(idx) => idx,
+            None => {
+                q.stall_events.fetch_add(1, Ordering::Relaxed);
+                match policy {
+                    AStackPolicy::Fail => return Err(CallError::NoAStacks),
+                    AStackPolicy::Wait(timeout) => self.wait_for_free(class, timeout)?,
+                    AStackPolicy::Grow => self.grow(class, kernel, client, server),
+                }
+            }
+        };
+        let held = q.in_use.fetch_add(1, Ordering::Relaxed) + 1;
+        q.peak_in_use.fetch_max(held, Ordering::Relaxed);
+        Ok(idx)
     }
 
     /// Blocks until an A-stack of `class` is released or `timeout`
@@ -610,6 +663,9 @@ impl AStackSet {
             return;
         };
         let q = &self.queues[class];
+        let _ = q
+            .in_use
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
         if index < self.primary_total {
             q.free.push(&self.links, index);
         } else {

@@ -219,6 +219,18 @@ pub struct BindingStats {
     /// `lrpc_tail_latency_ns:{interface}`. Stamped on every completion
     /// path — serial, batch reap, and the remote branch.
     tail_latency: OnceLock<obs::TailHistogram>,
+    /// Transfers through this binding that found a processor idling in the
+    /// target context (Section 3.4's domain caching), attached as
+    /// `lrpc_domain_cache_hits:{interface}`. Call and return directions
+    /// both count.
+    cache_hits: OnceLock<obs::Counter>,
+    /// Transfers that found no idle processor and paid the full context
+    /// switch, attached as `lrpc_domain_cache_misses:{interface}`.
+    cache_misses: OnceLock<obs::Counter>,
+    /// Largest batch ever submitted through this binding — the adaptive
+    /// sizing controller's ring-depth signal (a histogram cannot hand back
+    /// its max cheaply; a `fetch_max` can).
+    batch_peak: AtomicU64,
 }
 
 impl BindingStats {
@@ -327,9 +339,15 @@ impl BindingStats {
     }
 
     pub(crate) fn observe_batch_size(&self, calls: u64) {
+        self.batch_peak.fetch_max(calls, Ordering::Relaxed);
         if let Some(h) = self.batch_size.get() {
             h.observe(calls);
         }
+    }
+
+    /// Largest batch ever submitted through this binding.
+    pub fn batch_peak(&self) -> u64 {
+        self.batch_peak.load(Ordering::Relaxed)
     }
 
     /// Attaches the tail-latency histogram. First attachment wins.
@@ -345,6 +363,38 @@ impl BindingStats {
     pub(crate) fn observe_tail_latency(&self, elapsed: Nanos) {
         if let Some(t) = self.tail_latency.get() {
             t.observe(elapsed.as_nanos());
+        }
+    }
+
+    /// Attaches the domain-cache hit counter. First attachment wins.
+    pub fn attach_cache_hits(&self, counter: obs::Counter) {
+        let _ = self.cache_hits.set(counter);
+    }
+
+    /// The attached domain-cache hit counter, if any.
+    pub fn cache_hits(&self) -> Option<&obs::Counter> {
+        self.cache_hits.get()
+    }
+
+    pub(crate) fn note_cache_hit(&self) {
+        if let Some(c) = self.cache_hits.get() {
+            c.inc();
+        }
+    }
+
+    /// Attaches the domain-cache miss counter. First attachment wins.
+    pub fn attach_cache_misses(&self, counter: obs::Counter) {
+        let _ = self.cache_misses.set(counter);
+    }
+
+    /// The attached domain-cache miss counter, if any.
+    pub fn cache_misses(&self) -> Option<&obs::Counter> {
+        self.cache_misses.get()
+    }
+
+    pub(crate) fn note_cache_miss(&self) {
+        if let Some(c) = self.cache_misses.get() {
+            c.inc();
         }
     }
 }

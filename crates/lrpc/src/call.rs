@@ -589,9 +589,11 @@ pub(crate) fn lrpc_call(
                 cost.processor_exchange,
             );
             state.server.note_idle_hit();
+            state.stats.note_cache_hit();
             exchanged_on_call = true;
         } else {
             state.server.note_idle_miss();
+            state.stats.note_cache_miss();
             cpu.switch_context(server_ctx.id(), &cost, &mut meter);
         }
     } else {
@@ -745,9 +747,11 @@ pub(crate) fn lrpc_call(
                 cost.processor_exchange,
             );
             state.client.note_idle_hit();
+            state.stats.note_cache_hit();
             exchanged_on_return = true;
         } else {
             state.client.note_idle_miss();
+            state.stats.note_cache_miss();
             cpu.switch_context(client_ctx.id(), &cost, &mut meter);
         }
     } else {

@@ -52,6 +52,7 @@
 //! assert_eq!(outcome.ret, Some(Value::Int32(5)));
 //! ```
 
+pub mod adapt;
 pub mod astack;
 pub mod binding;
 pub mod bulk;
@@ -65,6 +66,7 @@ pub mod runtime;
 pub mod touch;
 pub mod typed;
 
+pub use adapt::{AdaptConfig, AdaptPlan, ClassSnapshot, Recommendation};
 pub use astack::{AStackMapping, AStackPolicy, AStackSet, LinkageSlot};
 pub use binding::{Binding, BindingState, BindingStats, Clerk, Handler, Reply, ServerCtx};
 pub use bulk::{BulkArena, BulkChunk};
@@ -76,6 +78,6 @@ pub use recover::{
 };
 pub use remote::{RemoteReply, RemoteTransport};
 pub use ring::{block_on, BatchOutcome, BatchSummary, CallFuture, CallRing, RingBatch, RING_SLOTS};
-pub use runtime::{LrpcRuntime, RuntimeConfig};
+pub use runtime::{LrpcRuntime, RuntimeConfig, TestRuntime};
 pub use touch::TouchPlan;
 pub use typed::{IntoValue, TypedCall, TypedOutcome};

@@ -110,16 +110,39 @@ impl CallRing {
         occupancy: obs::Gauge,
         doorbells_total: obs::Counter,
     ) -> CallRing {
+        CallRing::with_slots(
+            kernel,
+            client,
+            server,
+            name,
+            occupancy,
+            doorbells_total,
+            RING_SLOTS,
+        )
+    }
+
+    /// Like [`CallRing::new`] with an explicit depth — the adaptive sizing
+    /// controller's ring-depth recommendations land here.
+    pub fn with_slots(
+        kernel: &Arc<Kernel>,
+        client: &Arc<Domain>,
+        server: &Arc<Domain>,
+        name: &str,
+        occupancy: obs::Gauge,
+        doorbells_total: obs::Counter,
+        slots: u32,
+    ) -> CallRing {
+        let slots = slots.max(1);
         let region = kernel.map_pairwise(
             format!("call-ring:{name}"),
             client,
             server,
-            RING_SLOTS as usize * 2 * DESC_BYTES,
+            slots as usize * 2 * DESC_BYTES,
         );
         CallRing {
             name: name.to_string(),
             region,
-            slots: RING_SLOTS,
+            slots,
             head: AtomicU32::new(0),
             tail: AtomicU32::new(0),
             doorbell: Doorbell::new(),
@@ -1482,19 +1505,15 @@ impl Binding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::RuntimeConfig;
+    use crate::runtime::TestRuntime;
     use crate::{Handler, LrpcRuntime};
     use firefly::cpu::Machine;
-    use kernel::kernel::Kernel;
 
     fn env() -> (Arc<LrpcRuntime>, Arc<Thread>, Binding) {
-        let rt = LrpcRuntime::with_config(
-            Kernel::new(Machine::cvax_firefly()),
-            RuntimeConfig {
-                domain_caching: false,
-                ..RuntimeConfig::default()
-            },
-        );
+        let rt = TestRuntime::new()
+            .machine(Machine::cvax_firefly())
+            .domain_caching(false)
+            .build();
         let server = rt.kernel().create_domain("svc");
         rt.export(
             &server,

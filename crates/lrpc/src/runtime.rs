@@ -46,6 +46,10 @@ pub struct RuntimeConfig {
     /// How A-stack regions are mapped (pairwise, or the Firefly's
     /// globally-shared fallback — Section 3.5).
     pub astack_mapping: AStackMapping,
+    /// Adaptive sizing plan from a prior run: per-interface A-stack counts
+    /// and ring depths that override the PDL's static guesses at import
+    /// time. `None` (the default) keeps the PDL values.
+    pub adapt: Option<Arc<crate::adapt::AdaptPlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +61,7 @@ impl Default for RuntimeConfig {
             estack_size: DEFAULT_ESTACK_SIZE,
             max_estacks: DEFAULT_MAX_ESTACKS,
             astack_mapping: AStackMapping::Pairwise,
+            adapt: None,
         }
     }
 }
@@ -249,11 +254,27 @@ impl LrpcRuntime {
         }
 
         // The clerk's reply: the PDL, from which the kernel sizes the
-        // pairwise A-stack allocation.
+        // pairwise A-stack allocation. An adaptive sizing plan (from a
+        // prior run's observations) overrides the PDL's static
+        // simultaneous-call guesses; each application is a recorded replay
+        // decision so adaptive runs replay byte-identically.
+        let adapt_rec = self.config.adapt.as_ref().and_then(|p| p.get(name));
+        if let Some(rec) = adapt_rec {
+            if !self.rr.is_live() {
+                self.rr
+                    .stream("adapt")
+                    .emit(replay::kind::ADAPT, crate::adapt::AdaptPlan::pack(rec));
+            }
+        }
         let pdl = clerk.pdl();
         let per_proc: Vec<(usize, u32)> = pdl
             .iter()
-            .map(|pd| (pd.astack_size, pd.simultaneous_calls))
+            .map(|pd| {
+                (
+                    pd.astack_size,
+                    adapt_rec.map_or(pd.simultaneous_calls, |r| r.astacks),
+                )
+            })
             .collect();
         let astacks = AStackSet::allocate_mapped(
             &self.kernel,
@@ -288,13 +309,14 @@ impl LrpcRuntime {
         let estack_pool = self.estack_pool(&server);
         // The pairwise submission/completion ring for doorbell-batched
         // calls, mapped at bind time like the A-stacks.
-        let ring = Arc::new(crate::ring::CallRing::new(
+        let ring = Arc::new(crate::ring::CallRing::with_slots(
             &self.kernel,
             client,
             &server,
             name,
             self.metrics.gauge(&format!("lrpc_ring_occupancy:{name}")),
             self.metrics.counter("lrpc_doorbells_total"),
+            adapt_rec.map_or(crate::ring::RING_SLOTS, |r| r.ring_slots),
         ));
         ring.attach_replay(&self.rr);
         let state = Arc::new(BindingState::new(
@@ -326,6 +348,14 @@ impl LrpcRuntime {
         state
             .stats
             .attach_tail_latency(self.metrics.tail(&format!("lrpc_tail_latency_ns:{name}")));
+        state.stats.attach_cache_hits(
+            self.metrics
+                .counter(&format!("lrpc_domain_cache_hits:{name}")),
+        );
+        state.stats.attach_cache_misses(
+            self.metrics
+                .counter(&format!("lrpc_domain_cache_misses:{name}")),
+        );
         let handle = self.bindings.insert(Arc::clone(&state));
         Ok(Binding::new(Arc::clone(self), handle, state))
     }
@@ -476,6 +506,85 @@ impl LrpcRuntime {
             .sum()
     }
 
+    /// Total A-stack acquires across every binding that found their
+    /// class free list empty, whatever the policy then did about it.
+    pub fn astack_wait_events(&self) -> u64 {
+        let mut total = 0u64;
+        self.bindings
+            .for_each(|state| total += state.astacks.total_stall_events());
+        total
+    }
+
+    /// Builds an adaptive sizing plan from what this runtime's bindings
+    /// observed: per interface, the worst-case A-stack occupancy peak,
+    /// stall-event count, batch peak and tail p99 across every binding of
+    /// that interface feed [`crate::adapt::recommend`].
+    ///
+    /// A slow-path sweep (import/window-boundary time, never on a call).
+    pub fn adapt_plan(&self, cfg: &crate::adapt::AdaptConfig) -> crate::adapt::AdaptPlan {
+        use crate::adapt::{recommend, AdaptPlan, ClassSnapshot};
+        let mut plan = AdaptPlan::default();
+        self.bindings.for_each(|state| {
+            let mut snap = ClassSnapshot {
+                batch_peak: state.stats.batch_peak(),
+                ..ClassSnapshot::default()
+            };
+            for (ci, c) in state.astacks.classes().iter().enumerate() {
+                snap.total = snap.total.max(c.primary_count as u64);
+                snap.peak_in_use = snap.peak_in_use.max(state.astacks.peak_in_use(ci));
+                snap.stall_events = snap.stall_events.max(state.astacks.stall_events(ci));
+            }
+            if let Some(t) = state.stats.tail_latency() {
+                snap.tail_p99_ns = t.snapshot().quantile(0.99).unwrap_or(0);
+            }
+            let rec = recommend(cfg, &snap);
+            plan.per_interface
+                .entry(state.interface.name.clone())
+                .and_modify(|r| {
+                    r.astacks = r.astacks.max(rec.astacks);
+                    r.ring_slots = r.ring_slots.max(rec.ring_slots);
+                })
+                .or_insert(rec);
+        });
+        plan
+    }
+
+    /// Re-applies an adaptive sizing plan to *live* bindings at a window
+    /// boundary: classes below their recommended A-stack count grow
+    /// (overflow allocations, Section 5.2) up to it. Ring depths are
+    /// import-time-only and are not resized here. Each touched interface
+    /// emits one [`replay::kind::ADAPT`] decision, so a recorded run that
+    /// rebalances mid-flight still replays byte-identically.
+    ///
+    /// Returns the number of A-stacks allocated.
+    pub fn apply_adapt(&self, plan: &crate::adapt::AdaptPlan) -> usize {
+        let mut grown = 0usize;
+        self.bindings.for_each(|state| {
+            let Some(rec) = plan.get(&state.interface.name) else {
+                return;
+            };
+            let mut touched = false;
+            for ci in 0..state.astacks.classes().len() {
+                let mut have = state.astacks.class_count(ci);
+                while have < rec.astacks as usize {
+                    let idx = state
+                        .astacks
+                        .grow(ci, &self.kernel, &state.client, &state.server);
+                    state.astacks.release(idx);
+                    have += 1;
+                    grown += 1;
+                    touched = true;
+                }
+            }
+            if touched && !self.rr.is_live() {
+                self.rr
+                    .stream("adapt")
+                    .emit(replay::kind::ADAPT, crate::adapt::AdaptPlan::pack(rec));
+            }
+        });
+        grown
+    }
+
     /// True if an exporter has registered `name` with the name server.
     pub fn exports(&self, name: &str) -> bool {
         self.names.lookup(name).is_some()
@@ -567,6 +676,7 @@ impl LrpcRuntime {
         let mut astacks_total = 0usize;
         let mut astacks_free = 0usize;
         let mut astack_waiters = 0usize;
+        let mut astack_wait_events = 0u64;
         let mut calls = 0u64;
         let mut failures = 0u64;
         let mut remote_calls = 0u64;
@@ -575,6 +685,7 @@ impl LrpcRuntime {
         let mut bulk_fallbacks = 0u64;
         self.bindings.for_each(|state| {
             astacks_total += state.astacks.total_count();
+            astack_wait_events += state.astacks.total_stall_events();
             for ci in 0..state.astacks.classes().len() {
                 astacks_free += state.astacks.free_count(ci);
                 astack_waiters += state.astacks.waiters(ci);
@@ -592,6 +703,8 @@ impl LrpcRuntime {
         m.gauge("lrpc_astacks_total").set(astacks_total as i64);
         m.gauge("lrpc_astacks_free").set(astacks_free as i64);
         m.gauge("lrpc_astack_waiters").set(astack_waiters as i64);
+        m.gauge("lrpc_astack_wait_events")
+            .set(astack_wait_events as i64);
         m.gauge("lrpc_bulk_chunks_total")
             .set(bulk_chunks_total as i64);
         m.gauge("lrpc_bulk_chunks_free")
@@ -637,5 +750,93 @@ impl LrpcRuntime {
         dropped.add(obs::flight::dropped_total().saturating_sub(dropped.get()));
 
         m.snapshot()
+    }
+}
+
+/// Builder for test and benchmark runtimes.
+///
+/// The ~15 call sites that used to hand-roll
+/// `RuntimeConfig { domain_caching: false, .. }` plus a machine and a
+/// kernel share this one constructor instead. Defaults: a single-CPU
+/// C-VAX Firefly, the default [`RuntimeConfig`], a live replay session.
+pub struct TestRuntime {
+    machine: Option<Arc<firefly::cpu::Machine>>,
+    cpus: usize,
+    config: RuntimeConfig,
+    session: Arc<replay::Session>,
+}
+
+impl Default for TestRuntime {
+    fn default() -> TestRuntime {
+        TestRuntime::new()
+    }
+}
+
+impl TestRuntime {
+    /// Starts a builder with the defaults above.
+    pub fn new() -> TestRuntime {
+        TestRuntime {
+            machine: None,
+            cpus: 1,
+            config: RuntimeConfig::default(),
+            session: replay::Session::live(),
+        }
+    }
+
+    /// Number of simulated CPUs (ignored if [`TestRuntime::machine`] is
+    /// also set).
+    pub fn cpus(mut self, n: usize) -> TestRuntime {
+        self.cpus = n;
+        self
+    }
+
+    /// An explicit machine (tagged-TLB ablations, custom cost models).
+    pub fn machine(mut self, machine: Arc<firefly::cpu::Machine>) -> TestRuntime {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Toggles the Section 3.4 idle-processor optimization.
+    pub fn domain_caching(mut self, on: bool) -> TestRuntime {
+        self.config.domain_caching = on;
+        self
+    }
+
+    /// How long an importer waits for the exporter's clerk.
+    pub fn import_timeout(mut self, timeout: Duration) -> TestRuntime {
+        self.config.import_timeout = timeout;
+        self
+    }
+
+    /// The A-stack exhaustion policy.
+    pub fn astack_policy(mut self, policy: AStackPolicy) -> TestRuntime {
+        self.config.astack_policy = policy;
+        self
+    }
+
+    /// How A-stack regions are mapped.
+    pub fn astack_mapping(mut self, mapping: AStackMapping) -> TestRuntime {
+        self.config.astack_mapping = mapping;
+        self
+    }
+
+    /// An adaptive sizing plan applied at import.
+    pub fn adapt(mut self, plan: Arc<crate::adapt::AdaptPlan>) -> TestRuntime {
+        self.config.adapt = Some(plan);
+        self
+    }
+
+    /// A record or replay session.
+    pub fn session(mut self, session: Arc<replay::Session>) -> TestRuntime {
+        self.session = session;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Arc<LrpcRuntime> {
+        let machine = self.machine.unwrap_or_else(|| {
+            firefly::cpu::Machine::new(self.cpus, firefly::cost::CostModel::cvax_firefly())
+        });
+        LrpcRuntime::with_session(Kernel::new(machine), self.config, self.session)
     }
 }

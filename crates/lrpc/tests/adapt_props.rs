@@ -1,0 +1,109 @@
+//! Property tests for the adaptive A-stack sizing controller.
+//!
+//! The controller is specified as a *pure, monotone, bounded* function of
+//! one run's observations (`lrpc::adapt`): the same snapshot always
+//! produces the same recommendation (replay depends on this — every
+//! application is a recorded decision), more observed pressure never
+//! shrinks the recommendation, and the result always respects the
+//! configured floor and ceiling no matter how absurd the observations.
+
+use lrpc::adapt::{recommend, recommend_class, recommend_ring};
+use lrpc::{AdaptConfig, ClassSnapshot};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = AdaptConfig> {
+    (1u32..8, 8u32..128, 4u32..32, 64u32..512, 0u64..2_000_000).prop_map(
+        |(min_astacks, max_astacks, min_ring, max_ring, tail_threshold_ns)| AdaptConfig {
+            min_astacks,
+            max_astacks,
+            min_ring_slots: min_ring,
+            max_ring_slots: max_ring,
+            tail_threshold_ns,
+        },
+    )
+}
+
+fn snapshot() -> impl Strategy<Value = ClassSnapshot> {
+    (
+        0u64..2_000,
+        0u64..2_000,
+        0u64..1_000,
+        0u64..300,
+        0u64..5_000_000,
+    )
+        .prop_map(
+            |(total, peak_in_use, stall_events, batch_peak, tail_p99_ns)| ClassSnapshot {
+                total,
+                peak_in_use,
+                stall_events,
+                batch_peak,
+                tail_p99_ns,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever a run observed — saturated pools, absurd stall counts,
+    /// huge batches — the recommendation stays inside the configured
+    /// bounds on both knobs.
+    #[test]
+    fn recommendations_stay_inside_the_configured_bounds(
+        cfg in config(),
+        snap in snapshot(),
+    ) {
+        let astacks = recommend_class(&cfg, &snap);
+        prop_assert!(astacks >= cfg.min_astacks && astacks <= cfg.max_astacks);
+        let ring = recommend_ring(&cfg, &snap);
+        prop_assert!(ring >= cfg.min_ring_slots && ring <= cfg.max_ring_slots);
+    }
+
+    /// Raising any pressure signal — occupancy peak, stall count, batch
+    /// peak, observed tail — never shrinks the A-stack recommendation,
+    /// and a bigger batch peak never shrinks the ring.
+    #[test]
+    fn more_pressure_never_shrinks_the_recommendation(
+        cfg in config(),
+        snap in snapshot(),
+        bump in 1u64..500,
+    ) {
+        let base = recommend_class(&cfg, &snap);
+        for grown in [
+            ClassSnapshot { peak_in_use: snap.peak_in_use + bump, ..snap },
+            ClassSnapshot { stall_events: snap.stall_events + bump, ..snap },
+            ClassSnapshot { batch_peak: snap.batch_peak + bump, ..snap },
+            ClassSnapshot { tail_p99_ns: snap.tail_p99_ns + bump, ..snap },
+        ] {
+            let got = recommend_class(&cfg, &grown);
+            prop_assert!(
+                got >= base,
+                "pressure raised {:?} -> {:?} but recommendation fell {} -> {}",
+                snap, grown, base, got
+            );
+        }
+        let ring_base = recommend_ring(&cfg, &snap);
+        let ring_grown = recommend_ring(&cfg, &ClassSnapshot {
+            batch_peak: snap.batch_peak + bump,
+            ..snap
+        });
+        prop_assert!(ring_grown >= ring_base);
+    }
+
+    /// The controller is a pure function: a fixed snapshot under a fixed
+    /// config always yields the same recommendation. (Replay correctness
+    /// leans on this — the recorded ADAPT decisions must be reproducible
+    /// from the same observations.)
+    #[test]
+    fn recommendations_are_deterministic_for_a_fixed_snapshot(
+        cfg in config(),
+        snap in snapshot(),
+    ) {
+        let first = recommend(&cfg, &snap);
+        for _ in 0..3 {
+            prop_assert_eq!(recommend(&cfg, &snap), first);
+        }
+        prop_assert_eq!(first.astacks, recommend_class(&cfg, &snap));
+        prop_assert_eq!(first.ring_slots, recommend_ring(&cfg, &snap));
+    }
+}

@@ -2,15 +2,12 @@
 
 use std::sync::Arc;
 
-use firefly::cost::CostModel;
-use firefly::cpu::Machine;
 use firefly::meter::Phase;
 use firefly::time::Nanos;
 use idl::wire::Value;
-use kernel::kernel::Kernel;
 use kernel::thread::Thread;
 use kernel::Domain;
-use lrpc::{Binding, CallError, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+use lrpc::{Binding, CallError, Handler, LrpcRuntime, Reply, ServerCtx, TestRuntime};
 
 /// The Table 4 benchmark interface.
 const BENCH_IDL: &str = r#"
@@ -47,9 +44,8 @@ struct Env {
     binding: Binding,
 }
 
-fn setup_with(n_cpus: usize, config: RuntimeConfig) -> Env {
-    let kernel = Kernel::new(Machine::new(n_cpus, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(kernel, config);
+fn setup_with(builder: TestRuntime) -> Env {
+    let rt = builder.build();
     let server = rt.kernel().create_domain("bench-server");
     rt.export(&server, BENCH_IDL, bench_handlers())
         .expect("export");
@@ -66,13 +62,7 @@ fn setup_with(n_cpus: usize, config: RuntimeConfig) -> Env {
 }
 
 fn setup_serial() -> Env {
-    setup_with(
-        1,
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    )
+    setup_with(TestRuntime::new().domain_caching(false))
 }
 
 /// Steady-state latency of a call (one warmup, then measure).
@@ -160,13 +150,7 @@ fn results_and_out_parameters_roundtrip() {
 
 #[test]
 fn idle_processor_optimization_cuts_null_to_125_microseconds() {
-    let env = setup_with(
-        2,
-        RuntimeConfig {
-            domain_caching: true,
-            ..RuntimeConfig::default()
-        },
-    );
+    let env = setup_with(TestRuntime::new().cpus(2).domain_caching(true));
     // Park CPU 1 idling in the server's context (the scheduler would do
     // this after noticing idle misses).
     env.rt
@@ -251,8 +235,7 @@ fn server_termination_revokes_binding_and_raises_call_failed() {
 
 #[test]
 fn server_fault_propagates_and_resources_are_released() {
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::new(kernel);
+    let rt = TestRuntime::new().build();
     let server = rt.kernel().create_domain("faulty");
     rt.export(
         &server,
@@ -276,8 +259,7 @@ fn server_fault_propagates_and_resources_are_released() {
 
 #[test]
 fn nested_calls_cross_three_domains() {
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::new(kernel);
+    let rt = TestRuntime::new().build();
 
     // C calls B; B's handler calls A.
     let domain_a = rt.kernel().create_domain("A");
@@ -330,8 +312,7 @@ fn nested_calls_cross_three_domains() {
 fn copy_ops_match_table_3() {
     // Mutable (interpreted) 200-byte in parameter: LRPC copies A on call,
     // E on the server side (defensive copy), nothing else.
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::new(kernel);
+    let rt = TestRuntime::new().build();
     let server = rt.kernel().create_domain("copysrv");
     rt.export(
         &server,
@@ -379,13 +360,7 @@ fn copy_ops_match_table_3() {
 
 #[test]
 fn concurrent_clients_do_not_interfere() {
-    let env = Arc::new(setup_with(
-        4,
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    ));
+    let env = Arc::new(setup_with(TestRuntime::new().cpus(4).domain_caching(false)));
     let mut handles = Vec::new();
     for cpu in 0..4 {
         let env = Arc::clone(&env);
@@ -410,15 +385,10 @@ fn astack_exhaustion_fails_cleanly_with_fail_policy() {
     // A procedure with a single A-stack: hold it hostage via a handler
     // that recursively calls back in. Simpler: claim the linkage slot
     // directly to simulate a concurrent call in flight.
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(
-        kernel,
-        RuntimeConfig {
-            domain_caching: false,
-            astack_policy: lrpc::AStackPolicy::Fail,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new()
+        .domain_caching(false)
+        .astack_policy(lrpc::AStackPolicy::Fail)
+        .build();
     let server = rt.kernel().create_domain("s");
     rt.export(
         &server,
@@ -444,15 +414,10 @@ fn astack_exhaustion_fails_cleanly_with_fail_policy() {
 
 #[test]
 fn grow_policy_allocates_overflow_astacks() {
-    let kernel = Kernel::new(Machine::new(1, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(
-        kernel,
-        RuntimeConfig {
-            domain_caching: false,
-            astack_policy: lrpc::AStackPolicy::Grow,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new()
+        .domain_caching(false)
+        .astack_policy(lrpc::AStackPolicy::Grow)
+        .build();
     let server = rt.kernel().create_domain("s");
     rt.export(
         &server,
@@ -476,14 +441,7 @@ fn grow_policy_allocates_overflow_astacks() {
 
 #[test]
 fn captured_thread_recovery_delivers_call_aborted() {
-    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(
-        kernel,
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new().cpus(2).domain_caching(false).build();
     let server = rt.kernel().create_domain("capturer");
     let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
     let gate2 = Arc::clone(&gate);
@@ -544,14 +502,7 @@ fn termination_with_multiple_outstanding_calls_mixes_failed_and_aborted() {
     // had already abandoned its thread sees call-aborted; the one still
     // waiting sees call-failed. Neither hangs, and the A-stack/linkage
     // pairs of both bindings come back.
-    let kernel = Kernel::new(Machine::new(4, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(
-        kernel,
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new().cpus(4).domain_caching(false).build();
     let server = rt.kernel().create_domain("doomed");
     let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
     let gate2 = Arc::clone(&gate);

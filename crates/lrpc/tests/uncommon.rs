@@ -4,20 +4,14 @@
 
 use std::sync::Arc;
 
-use firefly::cost::CostModel;
-use firefly::cpu::Machine;
 use idl::wire::{TreeVal, Value};
-use kernel::kernel::Kernel;
-use lrpc::{CallError, Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+use lrpc::{CallError, Handler, LrpcRuntime, Reply, ServerCtx, TestRuntime};
 
 fn runtime(n_cpus: usize) -> Arc<LrpcRuntime> {
-    LrpcRuntime::with_config(
-        Kernel::new(Machine::new(n_cpus, CostModel::cvax_firefly())),
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    )
+    TestRuntime::new()
+        .cpus(n_cpus)
+        .domain_caching(false)
+        .build()
 }
 
 #[test]
@@ -227,13 +221,7 @@ fn alerted_server_procedure_can_cooperate() {
     // "Taos does have an alert mechanism which allows one thread to signal
     // another, but the notified thread may choose to ignore the alert."
     // A cooperative server checks the alert and bails out early.
-    let rt = LrpcRuntime::with_config(
-        Kernel::new(Machine::new(2, CostModel::cvax_firefly())),
-        RuntimeConfig {
-            domain_caching: false,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = runtime(2);
     let server = rt.kernel().create_domain("cooperative");
     rt.export(
         &server,
@@ -270,13 +258,10 @@ fn alerted_server_procedure_can_cooperate() {
 
 #[test]
 fn import_of_unexported_interface_times_out() {
-    let rt = LrpcRuntime::with_config(
-        Kernel::new(Machine::cvax_uniprocessor()),
-        RuntimeConfig {
-            import_timeout: std::time::Duration::from_millis(20),
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new()
+        .machine(firefly::cpu::Machine::cvax_uniprocessor())
+        .import_timeout(std::time::Duration::from_millis(20))
+        .build();
     let client = rt.kernel().create_domain("c");
     let err = rt.import(&client, "Ghost").map(|_| ()).unwrap_err();
     assert!(matches!(err, CallError::ImportTimeout { .. }));
@@ -286,7 +271,7 @@ fn import_of_unexported_interface_times_out() {
 fn late_export_wakes_a_waiting_importer() {
     // "The importer waits while the kernel notifies the server's waiting
     // clerk."
-    let rt = LrpcRuntime::new(Kernel::new(Machine::new(2, CostModel::cvax_firefly())));
+    let rt = TestRuntime::new().cpus(2).build();
     let client = rt.kernel().create_domain("early-bird");
     let importer = {
         let rt = Arc::clone(&rt);
@@ -309,7 +294,7 @@ fn late_export_wakes_a_waiting_importer() {
 
 #[test]
 fn runtime_prodding_turns_misses_into_exchanges() {
-    let rt = LrpcRuntime::new(Kernel::new(Machine::new(4, CostModel::cvax_firefly())));
+    let rt = TestRuntime::new().cpus(4).build();
     let server = rt.kernel().create_domain("hot");
     rt.export(
         &server,
@@ -394,14 +379,10 @@ fn globally_shared_astacks_trade_safety_not_performance() {
     // identical latency but a third party can read the channel.
     use lrpc::AStackMapping;
     let mk = |mapping: AStackMapping| {
-        let rt = LrpcRuntime::with_config(
-            Kernel::new(Machine::new(1, CostModel::cvax_firefly())),
-            RuntimeConfig {
-                domain_caching: false,
-                astack_mapping: mapping,
-                ..RuntimeConfig::default()
-            },
-        );
+        let rt = TestRuntime::new()
+            .domain_caching(false)
+            .astack_mapping(mapping)
+            .build();
         let server = rt.kernel().create_domain("s");
         rt.export(
             &server,

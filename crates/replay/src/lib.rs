@@ -84,6 +84,9 @@ pub mod kind {
     pub const FAULT_RING_FULL: u16 = 16;
     /// Doorbell-lost fault injection decision (payload: 0 or 1).
     pub const FAULT_DOORBELL_LOST: u16 = 17;
+    /// Adaptive A-stack sizing decision applied to one interface (payload:
+    /// `astacks << 32 | ring_slots`).
+    pub const ADAPT: u16 = 18;
 
     /// Human name for a kind code (for divergence reports).
     pub fn name(kind: u16) -> &'static str {
@@ -105,6 +108,7 @@ pub mod kind {
             RING_DRAIN => "ring-drain",
             FAULT_RING_FULL => "fault-ring-full",
             FAULT_DOORBELL_LOST => "fault-doorbell-lost",
+            ADAPT => "adapt",
             _ => "unknown",
         }
     }

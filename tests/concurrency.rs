@@ -183,15 +183,24 @@ fn concurrent_termination_and_calls_settle_cleanly() {
     let client = rt.kernel().create_domain("c");
     let binding = Arc::new(rt.import(&client, "D").unwrap());
 
+    // A sleep-based race here is flaky on fast hosts (the caller can
+    // drain a fixed call budget before the parent wakes), so both sides
+    // handshake on call counts instead: the parent terminates only after
+    // watching calls succeed, and the caller keeps calling until the
+    // revocation errors actually arrive (with a generous budget so a
+    // broken revocation path fails the assertion instead of hanging).
+    let calls_started = Arc::new(AtomicU64::new(0));
     let caller = {
         let rt = Arc::clone(&rt);
         let binding = Arc::clone(&binding);
         let client = Arc::clone(&client);
+        let calls_started = Arc::clone(&calls_started);
         std::thread::spawn(move || {
             let thread = rt.kernel().spawn_thread(&client);
             let mut ok = 0u32;
             let mut failed = 0u32;
-            for _ in 0..2_000 {
+            for _ in 0..5_000_000u64 {
+                calls_started.fetch_add(1, Ordering::Relaxed);
                 match binding.call_indexed(0, &thread, 0, &[]) {
                     Ok(_) => ok += 1,
                     Err(
@@ -202,12 +211,17 @@ fn concurrent_termination_and_calls_settle_cleanly() {
                     ) => failed += 1,
                     Err(other) => panic!("unexpected error under termination: {other}"),
                 }
+                if failed >= 16 {
+                    break;
+                }
             }
             (ok, failed)
         })
     };
     // Let some calls through, then pull the server out.
-    std::thread::sleep(Duration::from_millis(5));
+    while calls_started.load(Ordering::Relaxed) < 100 {
+        std::thread::yield_now();
+    }
     rt.terminate_domain(&server);
     let (ok, failed) = caller.join().expect("caller must not panic");
     assert!(ok > 0, "some calls succeeded before termination");

@@ -22,11 +22,9 @@ use std::sync::{Arc, Mutex};
 
 use bench::phases;
 use firefly::cost::CostModel;
-use firefly::cpu::Machine;
 use firefly::meter::LockTally;
 use idl::wire::Value;
-use kernel::kernel::Kernel;
-use lrpc::{Handler, LrpcRuntime, Reply, RuntimeConfig, ServerCtx};
+use lrpc::{Handler, LrpcRuntime, Reply, ServerCtx, TestRuntime};
 
 /// Serializes the tests that toggle the process-global flight recorder
 /// (within this test binary; other binaries are separate processes).
@@ -76,14 +74,10 @@ fn thread_allocations() -> u64 {
 }
 
 fn null_env(domain_caching: bool) -> (Arc<LrpcRuntime>, Arc<kernel::Domain>, lrpc::Binding) {
-    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(
-        kernel,
-        RuntimeConfig {
-            domain_caching,
-            ..RuntimeConfig::default()
-        },
-    );
+    let rt = TestRuntime::new()
+        .cpus(2)
+        .domain_caching(domain_caching)
+        .build();
     let server = rt.kernel().create_domain("null-server");
     rt.export(
         &server,
@@ -215,6 +209,45 @@ fn domain_caching_path_is_also_global_lock_free() {
 }
 
 #[test]
+fn exchanged_multi_cpu_call_takes_zero_global_locks_and_allocations() {
+    // The multi-CPU steady state the tail benchmark leans on: both domain
+    // transfers ride the idle-processor exchange (Section 3.4) instead of
+    // a context switch. The claim itself is a per-CPU atomic exchange and
+    // the TLB stays warm on both processors, so the whole call must still
+    // be free of process-global locks *and* heap allocations.
+    let (rt, client, binding) = null_env(true);
+    let thread = rt.kernel().spawn_thread(&client);
+    let server_ctx = binding.state().server.ctx().id();
+    rt.kernel().machine().cpu(1).set_idle_in(Some(server_ctx));
+    let mut warm = binding.call_unmetered(0, &thread, 0, &[]).expect("warmup");
+    for _ in 0..7 {
+        warm = binding
+            .call_unmetered(warm.end_cpu, &thread, 0, &[])
+            .expect("warmup");
+    }
+
+    let scope = LockTally::scope();
+    let before = thread_allocations();
+    let out = binding
+        .call_unmetered(warm.end_cpu, &thread, 0, &[])
+        .expect("measured");
+    let allocated = thread_allocations() - before;
+    assert!(
+        out.exchanged_on_call && out.exchanged_on_return,
+        "the measurement requires both transfers to hit the cached processor"
+    );
+    assert_eq!(
+        scope.global(),
+        0,
+        "an exchanged multi-CPU call must not acquire any process-global lock"
+    );
+    assert_eq!(
+        allocated, 0,
+        "an exchanged multi-CPU call must not allocate ({allocated} allocations)"
+    );
+}
+
+#[test]
 fn steady_state_null_call_makes_zero_heap_allocations() {
     // The compiled copy plan executes the whole stub cycle with borrowed
     // slices and stack scratch: once the E-stack association and linkage
@@ -244,8 +277,7 @@ fn steady_state_fixed_arg_call_makes_zero_heap_allocations() {
     // Same contract with real argument traffic: two int32 in-params and
     // an int32 result ride the fused copy plan, the inline ArgVec and
     // stack scratch buffers end to end.
-    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(kernel, RuntimeConfig::default());
+    let rt = TestRuntime::new().cpus(2).build();
     let server = rt.kernel().create_domain("add-server");
     rt.export(
         &server,
@@ -293,8 +325,7 @@ fn steady_state_large_calls_allocate_zero_per_call_oob_regions() {
     //
     // `region_count()` takes the global region-table lock, so both
     // samples happen outside any `LockTally::scope`.
-    let kernel = Kernel::new(Machine::new(2, CostModel::cvax_firefly()));
-    let rt = LrpcRuntime::with_config(kernel, RuntimeConfig::default());
+    let rt = TestRuntime::new().cpus(2).build();
     let server = rt.kernel().create_domain("bulk-server");
     rt.export(
         &server,

@@ -35,8 +35,8 @@ fn corpus_logs_replay_byte_identically() {
         replayed += 1;
     }
     assert!(
-        replayed >= 4,
-        "expected at least 4 corpus logs, saw {replayed}"
+        replayed >= 5,
+        "expected at least 5 corpus logs, saw {replayed}"
     );
 }
 
